@@ -1,0 +1,89 @@
+// Command netgen generates and inspects simulated sensor networks: node
+// counts, realised degrees, connectivity, hop diameter, and optional
+// network renders — useful for choosing scenario parameters.
+//
+// Usage:
+//
+//	netgen -shape spiral -n 2812 -deg 9.6 -seed 1 -svg spiral.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bfskel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		shapeName = flag.String("shape", "window", "deployment field")
+		n         = flag.Int("n", 2592, "number of deployed nodes")
+		deg       = flag.Float64("deg", 6, "target average degree")
+		seed      = flag.Int64("seed", 1, "deployment/link seed")
+		uniform   = flag.Bool("uniform", false, "uniform-random layout instead of jittered grid")
+		whole     = flag.Bool("whole", false, "keep the whole graph (not just the largest component)")
+		svgPath   = flag.String("svg", "", "write the network as SVG")
+		pngPath   = flag.String("png", "", "write the network as PNG")
+	)
+	flag.Parse()
+
+	shape, err := bfskel.ShapeByName(*shapeName)
+	if err != nil {
+		return err
+	}
+	layout := bfskel.LayoutGrid
+	if *uniform {
+		layout = bfskel.LayoutUniform
+	}
+	net, err := bfskel.BuildNetwork(bfskel.NetworkSpec{
+		Shape: shape, N: *n, TargetDeg: *deg, Seed: *seed,
+		Layout: layout, KeepWholeGraph: *whole,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("shape=%s (%d holes, area %.0f)\n", shape.Name, shape.Holes(), shape.Poly.Area())
+	fmt.Printf("nodes=%d (of %d deployed) avg.deg=%.2f connected=%v\n",
+		net.N(), *n, net.AvgDegree(), net.Graph.IsConnected())
+	fmt.Printf("radio=%v hop-diameter>=%d\n", net.Radio, net.Graph.DiameterLowerBound(0))
+
+	write := func(path string, render func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		renderErr := render(f)
+		if closeErr := f.Close(); renderErr == nil {
+			renderErr = closeErr
+		}
+		if renderErr != nil {
+			return renderErr
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	if *svgPath != "" {
+		if err := write(*svgPath, func(f *os.File) error {
+			return bfskel.RenderNetwork(net, f)
+		}); err != nil {
+			return err
+		}
+	}
+	if *pngPath != "" {
+		if err := write(*pngPath, func(f *os.File) error {
+			return bfskel.RenderResultPNG(net, nil, bfskel.StageNetwork, f)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

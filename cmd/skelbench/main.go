@@ -1,0 +1,53 @@
+// Command skelbench regenerates the data series behind every figure and
+// claim of the paper's evaluation (Figs. 1, 3-8, Sec. V complexity and
+// parameter analyses) plus the baseline and routing comparisons. Each row
+// prints the measured counterparts of what the paper reports: node counts,
+// average degrees, skeleton size, loop structure (homotopy), medial
+// quality, stability, and distributed cost.
+//
+// Usage:
+//
+//	skelbench            # run every experiment
+//	skelbench -fig fig5  # run one experiment
+//	skelbench -seed 7    # change the deployment seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bfskel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skelbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig  = flag.String("fig", "", "experiment to run (empty = all); one of "+strings.Join(bfskel.FigureNames(), ", "))
+		seed = flag.Int64("seed", 1, "deployment/link seed")
+	)
+	flag.Parse()
+
+	figures := bfskel.FigureNames()
+	if *fig != "" {
+		figures = []string{*fig}
+	}
+	for _, f := range figures {
+		rows, err := bfskel.RunFigure(f, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		fmt.Printf("== %s ==\n", f)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	}
+	return nil
+}

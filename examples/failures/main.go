@@ -1,0 +1,70 @@
+// Failures: the paper notes that skeleton loops can be caused by "obstacles
+// (or nodes failure, etc.)" — this example kills a disk of sensors inside a
+// solid region and re-extracts: the dead zone becomes a hole and the
+// skeleton grows a new genuine loop around it, with no reconfiguration or
+// boundary input.
+//
+//	go run ./examples/failures
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bfskel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net, err := bfskel.BuildNetwork(bfskel.NetworkSpec{
+		Shape:     bfskel.MustShape("onehole"),
+		N:         2734,
+		TargetDeg: 6.54,
+		Seed:      1,
+		Layout:    bfskel.LayoutGrid,
+	})
+	if err != nil {
+		return err
+	}
+	before, err := net.Extract(bfskel.DefaultParams())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("before: %d nodes, skeleton loops %d (field holes %d)\n",
+		net.N(), before.Skeleton.CycleRank(), net.Spec.Shape.Holes())
+
+	// A battery blackout kills every sensor within 10 units of (80, 20).
+	failed := bfskel.NodesWithin(net, bfskel.Point{X: 80, Y: 20}, 10)
+	after := bfskel.FailNodes(net, failed)
+	fmt.Printf("blackout: %d sensors died around (80,20)\n", len(failed))
+
+	res, err := after.Extract(bfskel.DefaultParams())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after:  %d nodes, skeleton loops %d — the dead zone is detected as a new hole\n",
+		after.N(), res.Skeleton.CycleRank())
+	for _, l := range res.Loops {
+		fmt.Printf("  loop (%s) through %d sites\n", l.Kind, len(l.Sites))
+	}
+
+	f, err := os.Create("failures-after.svg")
+	if err != nil {
+		return err
+	}
+	renderErr := bfskel.RenderResult(after, res, bfskel.StageFinal, f)
+	if closeErr := f.Close(); renderErr == nil {
+		renderErr = closeErr
+	}
+	if renderErr != nil {
+		return renderErr
+	}
+	fmt.Println("wrote failures-after.svg")
+	return nil
+}

@@ -1,0 +1,48 @@
+package bfskel
+
+// Failure injection: the paper notes that skeleton loops may be caused by
+// "obstacles (or nodes failure, etc.) in the sensing field". These helpers
+// simulate such events — regions of dead sensors — so the pipeline's
+// adaptation can be exercised: a failed disk inside a solid region becomes
+// a hole, and re-extraction grows a new genuine loop around it.
+
+// NodesWithin returns the IDs of nodes within the given distance of a
+// point.
+func NodesWithin(net *Network, center Point, radius float64) []int32 {
+	r2 := radius * radius
+	var out []int32
+	for v, p := range net.Points {
+		if p.Dist2(center) <= r2 {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// FailNodes returns a new network with the given nodes removed — the
+// survivors keep their positions and surviving links, restricted to the
+// largest connected component (dead nodes cannot forward messages, so the
+// network the protocol sees is exactly this). Node IDs are re-assigned
+// densely; the mapping is the order of surviving original IDs.
+func FailNodes(net *Network, failed []int32) *Network {
+	dead := make(map[int32]bool, len(failed))
+	for _, v := range failed {
+		dead[v] = true
+	}
+	var keep []int32
+	for v := 0; v < net.N(); v++ {
+		if !dead[int32(v)] {
+			keep = append(keep, int32(v))
+		}
+	}
+	sub, orig := net.Graph.Subgraph(keep)
+	pts := make([]Point, len(orig))
+	for i, v := range orig {
+		pts[i] = net.Points[v]
+	}
+	survivor := &Network{Spec: net.Spec, Points: pts, Graph: sub, Radio: net.Radio}
+	if !net.Spec.KeepWholeGraph {
+		survivor = survivor.largestComponent()
+	}
+	return survivor
+}

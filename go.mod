@@ -1,0 +1,3 @@
+module bfskel
+
+go 1.22

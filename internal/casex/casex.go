@@ -1,0 +1,241 @@
+// Package casex implements the CASE baseline (Jiang et al.: "CASE:
+// Connectivity-based skeleton extraction in wireless sensor networks"):
+// given identified boundary cycles, CASE segments each boundary into
+// branches at corner points, declares nodes whose nearest boundary nodes
+// fall on two or more different branches as skeleton nodes, and connects
+// and prunes them. Corner detection tames boundary noise — the improvement
+// over MAP the paper highlights — at the cost of still requiring known
+// boundaries, which is exactly the dependency the paper's algorithm
+// removes.
+package casex
+
+import (
+	"bfskel/internal/boundary"
+	"bfskel/internal/core"
+	"bfskel/internal/graph"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// CornerWindow is the half-window (in along-cycle positions) of the
+	// shortcut test (default 6).
+	CornerWindow int
+	// CornerRatio flags a corner when the graph shortcut between the two
+	// window ends is below CornerRatio x the along-cycle arc (default 0.6).
+	CornerRatio float64
+	// TieSlack is the distance slack for recording several nearest
+	// boundary nodes (default 1).
+	TieSlack int32
+	// PruneLen trims leaf skeleton branches shorter than this many hops
+	// (default 3).
+	PruneLen int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CornerWindow <= 0 {
+		o.CornerWindow = 6
+	}
+	if o.CornerRatio <= 0 {
+		o.CornerRatio = 0.6
+	}
+	if o.TieSlack <= 0 {
+		o.TieSlack = 1
+	}
+	if o.PruneLen <= 0 {
+		o.PruneLen = 3
+	}
+	return o
+}
+
+// Result is the extracted skeleton.
+type Result struct {
+	// Corners are the detected corner points, per boundary cycle.
+	Corners [][]int32
+	// BranchOf labels each boundary node with its branch ID (-1 for
+	// non-boundary nodes).
+	BranchOf []int
+	// NumBranches is the number of boundary branches.
+	NumBranches int
+	// SkeletonNodes are the nodes whose nearest boundary nodes span two or
+	// more branches, sorted.
+	SkeletonNodes []int32
+	// Skeleton is the connected, pruned structure.
+	Skeleton *core.Skeleton
+}
+
+// Extract runs the CASE baseline on a graph with known boundary.
+func Extract(g *graph.Graph, b *boundary.Result, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{BranchOf: make([]int, g.N())}
+	for i := range res.BranchOf {
+		res.BranchOf[i] = -1
+	}
+
+	// Corner detection and branch labelling per cycle.
+	branch := 0
+	for _, cycle := range b.Cycles {
+		corners := detectCorners(g, cycle, opts)
+		res.Corners = append(res.Corners, corners)
+		branch = labelBranches(cycle, corners, res.BranchOf, branch)
+	}
+	res.NumBranches = branch
+
+	// Distance transform with branch-aware records.
+	_, records := g.MultiSourceRecords(b.Nodes, opts.TieSlack)
+	isSkel := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if b.IsBoundary[v] {
+			continue
+		}
+		seen := -1
+		for _, r := range records[v] {
+			br := res.BranchOf[r.Source]
+			if br == -1 {
+				continue
+			}
+			if seen == -1 {
+				seen = br
+				continue
+			}
+			if br != seen {
+				isSkel[v] = true
+				break
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if isSkel[v] {
+			res.SkeletonNodes = append(res.SkeletonNodes, int32(v))
+		}
+	}
+
+	res.Skeleton = core.NewSkeleton(g.N())
+	connectSkeleton(g, isSkel, res.Skeleton)
+	core.PruneLeafBranches(res.Skeleton, opts.PruneLen)
+	return res
+}
+
+// detectCorners flags cycle positions where the graph shortcut between the
+// window ends is much shorter than the along-cycle arc — the boundary turns
+// back on itself — with non-maximum suppression inside the window.
+func detectCorners(g *graph.Graph, cycle []int32, opts Options) []int32 {
+	l := len(cycle)
+	w := opts.CornerWindow
+	if l < 4*w {
+		return nil
+	}
+	ratio := make([]float64, l)
+	for i := range cycle {
+		a := cycle[(i-w+l)%l]
+		b := cycle[(i+w)%l]
+		arc := float64(2 * w)
+		cut := hopDistCapped(g, a, b, int32(2*w+2))
+		ratio[i] = float64(cut) / arc
+	}
+	var corners []int32
+	for i := range cycle {
+		if ratio[i] >= opts.CornerRatio {
+			continue
+		}
+		// Non-maximum suppression: keep only the sharpest position in the
+		// window.
+		best := true
+		for d := -w; d <= w; d++ {
+			j := (i + d + l) % l
+			if ratio[j] < ratio[i] || (ratio[j] == ratio[i] && j < i) {
+				best = false
+				break
+			}
+		}
+		if best {
+			corners = append(corners, cycle[i])
+		}
+	}
+	return corners
+}
+
+// labelBranches splits the ordered cycle at its corners and assigns one
+// branch ID per segment, returning the next free ID. A cycle without
+// corners is one branch.
+func labelBranches(cycle []int32, corners []int32, branchOf []int, next int) int {
+	isCorner := make(map[int32]bool, len(corners))
+	for _, c := range corners {
+		isCorner[c] = true
+	}
+	if len(corners) == 0 {
+		for _, v := range cycle {
+			branchOf[v] = next
+		}
+		return next + 1
+	}
+	// Start labelling at the first corner so every segment is contiguous.
+	start := 0
+	for i, v := range cycle {
+		if isCorner[v] {
+			start = i
+			break
+		}
+	}
+	cur := next
+	for i := 0; i < len(cycle); i++ {
+		v := cycle[(start+i)%len(cycle)]
+		if isCorner[v] && i > 0 {
+			cur++
+		}
+		branchOf[v] = cur
+	}
+	return cur + 1
+}
+
+// connectSkeleton links skeleton nodes within two hops (bridging through
+// the intermediate node), forming CASE's skeleton arcs.
+func connectSkeleton(g *graph.Graph, isSkel []bool, skel *core.Skeleton) {
+	for v := 0; v < g.N(); v++ {
+		if !isSkel[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if isSkel[u] && int32(v) < u {
+				skel.AddPath([]int32{int32(v), u})
+			}
+		}
+		for _, w := range g.Neighbors(v) {
+			if isSkel[w] {
+				continue
+			}
+			for _, u := range g.Neighbors(int(w)) {
+				if isSkel[u] && int32(v) < u && !g.HasEdge(v, int(u)) {
+					skel.AddPath([]int32{int32(v), w, u})
+				}
+			}
+		}
+	}
+}
+
+// hopDistCapped returns the hop distance between a and b, or cap+1 when it
+// exceeds the cap.
+func hopDistCapped(g *graph.Graph, a, b int32, cap int32) int32 {
+	if a == b {
+		return 0
+	}
+	dist := map[int32]int32{a: 0}
+	queue := []int32{a}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if du >= cap {
+			continue
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			if _, seen := dist[v]; seen {
+				continue
+			}
+			if v == b {
+				return du + 1
+			}
+			dist[v] = du + 1
+			queue = append(queue, v)
+		}
+	}
+	return cap + 1
+}

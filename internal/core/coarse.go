@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sort"
+
+	"bfskel/internal/graph"
+)
+
+// coarse runs Phase 3 (Sec. III-C): for every pair of adjacent Voronoi
+// cells, the segment node with the largest index is selected as the
+// connector; it sends a message along the reverse paths kept during Voronoi
+// construction, building the two paths to its nearest sites, which together
+// connect the sites. The union of all such paths is the coarse skeleton.
+func coarse(g *graph.Graph, index []float64, records [][]SiteDist) ([]SiteEdge, *Skeleton) {
+	// Group segment nodes by unordered site pair. A Voronoi node recording
+	// m >= 3 sites is a segment node for each of its m(m-1)/2 pairs.
+	pairSegs := make(map[SitePair][]int32)
+	for v := range records {
+		recs := records[v]
+		if len(recs) < 2 {
+			continue
+		}
+		for i := 0; i < len(recs); i++ {
+			for j := i + 1; j < len(recs); j++ {
+				p := MakeSitePair(recs[i].Site, recs[j].Site)
+				pairSegs[p] = append(pairSegs[p], int32(v))
+			}
+		}
+	}
+
+	pairs := make([]SitePair, 0, len(pairSegs))
+	for p := range pairSegs {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+
+	skel := NewSkeleton(g.N())
+	var edges []SiteEdge
+	for _, pr := range pairs {
+		// The paper selects exactly one segment node per adjacent cell
+		// pair, so each pair contributes one connection. (A hole encircled
+		// by only two cells is therefore not representable — as in the
+		// paper; enough sites form around any hole of non-trivial size.)
+		segs := pairSegs[pr]
+		connector := selectConnector(segs, index)
+		toA := pathToSite(records, connector, pr.A)
+		toB := pathToSite(records, connector, pr.B)
+		// Full path A .. connector .. B.
+		path := make([]int32, 0, len(toA)+len(toB)-1)
+		for i := len(toA) - 1; i >= 0; i-- {
+			path = append(path, toA[i])
+		}
+		path = append(path, toB[1:]...)
+		skel.AddPath(path)
+		e1, e2 := bandEndNodes(g, segs, connector)
+		edges = append(edges, SiteEdge{
+			Pair:         pr,
+			Connector:    connector,
+			Path:         path,
+			EndNodes:     [2]int32{e1, e2},
+			SegmentCount: len(segs),
+		})
+	}
+	return edges, skel
+}
+
+// selectConnector picks the segment node with the largest index, breaking
+// ties toward the lowest node ID for determinism.
+func selectConnector(segs []int32, index []float64) int32 {
+	best := segs[0]
+	for _, v := range segs[1:] {
+		if index[v] > index[best] || (index[v] == index[best] && v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// bandEndNodes finds the two farthest-apart segment nodes of a pair's band
+// (the paper's "end nodes", Sec. III-D) with a double BFS sweep restricted
+// to the band.
+func bandEndNodes(g *graph.Graph, segs []int32, connector int32) (int32, int32) {
+	if len(segs) == 1 {
+		return segs[0], segs[0]
+	}
+	inBand := make(map[int32]bool, len(segs))
+	for _, v := range segs {
+		inBand[v] = true
+	}
+	e1 := farthestInBand(g, connector, inBand)
+	e2 := farthestInBand(g, e1, inBand)
+	return e1, e2
+}
+
+// farthestInBand runs a BFS from src that traverses band nodes (allowing
+// the same one-hop bridges as bandComponents) and returns the farthest
+// reached band node (src if none).
+func farthestInBand(g *graph.Graph, src int32, inBand map[int32]bool) int32 {
+	dist := map[int32]int32{src: 0}
+	queue := []int32{src}
+	far := src
+	visit := func(v, d int32) {
+		if _, seen := dist[v]; seen {
+			return
+		}
+		dist[v] = d
+		if d > dist[far] || (d == dist[far] && v < far) {
+			far = v
+		}
+		queue = append(queue, v)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(int(u)) {
+			if inBand[v] {
+				visit(v, du+1)
+				continue
+			}
+			for _, w := range g.Neighbors(int(v)) {
+				if inBand[w] {
+					visit(w, du+2)
+				}
+			}
+		}
+	}
+	return far
+}

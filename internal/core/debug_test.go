@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"bfskel/internal/nettest"
+)
+
+// TestDebugStarLoops prints, for the star field, each cycle the refiner
+// examined and its verdict. Run with -v to inspect.
+func TestDebugStarLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug diagnostics")
+	}
+	g := nettest.Grid("star", 1394, 6.59, 1).Graph
+	p := DefaultParams()
+	khop, _, index, sites, _, _ := identify(g, p)
+	_ = khop
+	cellOf, _, records := voronoi(g, sites, p.Alpha)
+	edges, coarseSkel := coarse(g, index, records)
+	t.Logf("sites=%d edges=%d coarse rank=%d", len(sites), len(edges), coarseSkel.CycleRank())
+
+	w := &refiner{g: g, p: p, index: index, records: records, cellOf: cellOf}
+	for _, e := range edges {
+		w.edges = append(w.edges, wEdge{
+			a: e.Pair.A, b: e.Pair.B, path: e.Path,
+			connector: e.Connector, ends: e.EndNodes, segs: e.SegmentCount,
+		})
+	}
+	w.dropRedundantParallels()
+	w.debugf = t.Logf
+	w.classifyLoops()
+	skel := w.build()
+	t.Logf("final rank=%d comps=%d", skel.CycleRank(), skel.Components())
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"bfskel/internal/graph"
+)
+
+// Saturation guard thresholds: the fraction of the network a typical K-hop
+// (resp. scope) ball may cover before the radius is reduced. When balls
+// approach the network size — dense graphs, heavy-tailed radio models —
+// neighborhood sizes stop discriminating and the index degenerates to a
+// constant, so radii are shrunk until the counts are informative again.
+const (
+	kSaturationFraction     = 1.0 / 3
+	scopeSaturationFraction = 1.0 / 6
+)
+
+// identify runs Phase 1 (Sec. III-A): every node computes its K-hop
+// neighborhood size, its L-centrality and its index; nodes whose index is
+// locally maximal within the scope radius become critical skeleton nodes.
+//
+// This is the centralized analogue of the two rounds of controlled
+// flooding; package protocol implements the same computation as true node
+// programs and the two are cross-checked in tests.
+func identify(g *graph.Graph, p Params) (khop []int, cent []float64, index []float64, sites []int32, kEff, scopeEff int) {
+	n := g.N()
+	maxR := p.K
+	if s := p.Scope(); s > maxR {
+		maxR = s
+	}
+	balls := g.AllBallSizes(maxR)
+
+	kEff = effectiveRadius(balls, p.K, kSaturationFraction)
+	scopeEff = effectiveRadius(balls, p.Scope(), scopeSaturationFraction)
+
+	khop = make([]int, n)
+	for v := range khop {
+		khop[v] = balls[v][kEff-1]
+	}
+
+	// When hop balls outgrow the field's structural features (very dense or
+	// heavy-tailed radio graphs), the index becomes a near-global gradient
+	// with a single maximum. Shrink the scope, then K, until a minimal site
+	// population elects; elections are cheap compared to the ball sweeps.
+	minSites := 4
+	if m := n / 512; m > minSites {
+		minSites = m
+	}
+	for {
+		cent, index = indexField(g, p, khop)
+		sites = electSites(g, index, scopeEff)
+		if len(sites) >= minSites {
+			break
+		}
+		switch {
+		case scopeEff > 1:
+			scopeEff--
+		case kEff > 1:
+			kEff--
+			scopeEff = p.Scope()
+			if scopeEff > kEff {
+				scopeEff = kEff
+			}
+			for v := range khop {
+				khop[v] = balls[v][kEff-1]
+			}
+		default:
+			return khop, cent, index, sites, kEff, scopeEff
+		}
+	}
+	return khop, cent, index, sites, kEff, scopeEff
+}
+
+// indexField computes the L-centrality and index of every node (Defs. 3-4).
+func indexField(g *graph.Graph, p Params, khop []int) (cent, index []float64) {
+	n := g.N()
+	cent = make([]float64, n)
+	index = make([]float64, n)
+	parallelNodes(n, func(w *graph.Walker, v int) {
+		// c_L(v): average K-hop size over N_L(v) plus v itself. Including v
+		// makes c_L well defined for isolated nodes and only shifts all
+		// values consistently, so local-maximum comparisons are unaffected.
+		sum := khop[v]
+		count := 1
+		w.Walk(v, p.L, func(u, _ int32) {
+			sum += khop[u]
+			count++
+		})
+		cent[v] = float64(sum) / float64(count)
+		index[v] = (float64(khop[v]) + cent[v]) / 2
+	}, g)
+	return cent, index
+}
+
+// electSites applies Def. 5: a node whose index is maximal within its
+// scope-hop neighborhood (ties broken by node ID so exactly one node of an
+// index plateau elects) identifies itself as a critical skeleton node.
+func electSites(g *graph.Graph, index []float64, scope int) []int32 {
+	n := g.N()
+	isSite := make([]bool, n)
+	parallelNodes(n, func(w *graph.Walker, v int) {
+		maximal := true
+		w.Walk(v, scope, func(u, _ int32) {
+			if !maximal {
+				return
+			}
+			if index[u] > index[v] || (index[u] == index[v] && u < int32(v)) {
+				maximal = false
+			}
+		})
+		isSite[v] = maximal
+	}, g)
+	var sites []int32
+	for v := 0; v < n; v++ {
+		if isSite[v] {
+			sites = append(sites, int32(v))
+		}
+	}
+	return sites
+}
+
+// effectiveRadius returns the largest radius r <= want whose median ball
+// size stays below fraction*n, and at least 1.
+func effectiveRadius(balls [][]int, want int, fraction float64) int {
+	n := len(balls)
+	if n == 0 {
+		return 1
+	}
+	limit := fraction * float64(n)
+	sizes := make([]int, n)
+	for r := want; r > 1; r-- {
+		for v := range balls {
+			sizes[v] = balls[v][r-1]
+		}
+		sort.Ints(sizes)
+		if float64(sizes[n/2]) <= limit {
+			return r
+		}
+	}
+	return 1
+}
+
+// parallelNodes runs fn over every node with one Walker per worker.
+func parallelNodes(n int, fn func(w *graph.Walker, v int), g *graph.Graph) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w := graph.NewWalker(g)
+			for v := lo; v < hi; v++ {
+				fn(w, v)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

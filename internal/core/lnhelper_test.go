@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bfskel/internal/deploy"
+	"bfskel/internal/graph"
+	"bfskel/internal/radio"
+	"bfskel/internal/shapes"
+)
+
+// buildTestNetworkLN builds a jittered-grid network under the log-normal
+// radio model with the base range calibrated to a UDG target degree — the
+// Fig. 7 construction.
+func buildTestNetworkLN(t testing.TB, shapeName string, n int, deg float64, seed int64, eps float64) *graph.Graph {
+	t.Helper()
+	shape := shapes.MustByName(shapeName)
+	spacing := math.Sqrt(shape.Poly.Area() / float64(n))
+	pts := deploy.PerturbedGrid(shape.Poly, spacing, 0.45*spacing, seed)
+	r := math.Sqrt(deg * shape.Poly.Area() / (math.Pi * float64(len(pts))))
+	for iter := 0; iter < 4; iter++ {
+		g := graph.Build(pts, radio.UDG{R: r}, seed)
+		actual := g.AvgDegree()
+		if actual > 0 && math.Abs(actual-deg)/deg < 0.01 {
+			break
+		}
+		if actual > 0 {
+			r *= math.Sqrt(deg / actual)
+		} else {
+			r *= 1.5
+		}
+	}
+	g := graph.Build(pts, radio.LogNormal{R: r, Epsilon: eps}, seed)
+	sub, _ := g.Subgraph(g.LargestComponent())
+	return sub
+}
+
+// TestLogNormalHomotopy: under moderate shadowing (eps=1, the Fig. 7b
+// regime) the window's four loops survive, even though sub-R links are
+// missing and super-R links exist.
+func TestLogNormalHomotopy(t *testing.T) {
+	g := buildTestNetworkLN(t, "window", 2592, 5.19, 1, 1)
+	res, err := Extract(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Skeleton.CycleRank(); got != 4 {
+		t.Errorf("cycle rank = %d, want 4", got)
+	}
+	if comps := res.Skeleton.Components(); comps != 1 {
+		t.Errorf("components = %d", comps)
+	}
+}

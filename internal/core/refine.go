@@ -1,0 +1,592 @@
+package core
+
+import (
+	"sort"
+
+	"bfskel/internal/graph"
+)
+
+// refine runs Phase 4 (Sec. III-D): identify skeleton loops, decide which
+// are genuine (caused by holes) and which are fake (caused by three or more
+// mutually adjacent Voronoi cells or by redundant parallel connections),
+// delete the fake ones by re-skeletonizing their interior through a hub
+// node, and finally prune short leaf branches.
+//
+// Loop classification follows the paper's end-node flooding: every skeleton
+// edge carries two end nodes (the extremes of its segment-node band). For a
+// cycle in the site-level graph, walk its consecutive edges and measure the
+// hop gap between their closest end nodes without crossing the coarse
+// skeleton. Around a mere Voronoi meeting point the bands converge, so the
+// "end node loop" stitched from these gaps is short — the loop is fake.
+// Around a hole the end nodes lie on the hole boundary and the stitched
+// loop has to travel the hole perimeter — the loop is genuine.
+func refine(g *graph.Graph, p Params, index []float64, records [][]SiteDist,
+	cellOf []int32, edges []SiteEdge, coarseSkel *Skeleton) ([]Loop, *Skeleton) {
+
+	w := &refiner{g: g, p: p, index: index, records: records, cellOf: cellOf}
+	for _, e := range edges {
+		w.edges = append(w.edges, wEdge{
+			a: e.Pair.A, b: e.Pair.B, path: e.Path,
+			connector: e.Connector, ends: e.EndNodes, segs: e.SegmentCount,
+		})
+	}
+	w.dropRedundantParallels()
+	w.classifyLoops()
+	skel := w.build()
+	pruneBranches(skel, pruneThreshold(p, edges))
+	return w.loops, skel
+}
+
+// wEdge is a working (site-level) skeleton edge; refinement deletes some
+// and appends hub-star replacements.
+type wEdge struct {
+	a, b      int32 // site (or hub) node IDs
+	path      []int32
+	connector int32
+	ends      [2]int32
+	segs      int
+	deleted   bool
+}
+
+// refiner carries the mutable state of Phase 4.
+type refiner struct {
+	g       *graph.Graph
+	p       Params
+	index   []float64
+	records [][]SiteDist
+	cellOf  []int32
+	edges   []wEdge
+	loops   []Loop
+	// debugf, when non-nil, receives a trace of every classification.
+	debugf func(format string, args ...any)
+}
+
+// build assembles the node-level skeleton from the surviving edges. Paths
+// of different edges share links (reverse paths to a common site coincide
+// near the site), so the skeleton is always rebuilt rather than updated
+// incrementally.
+func (w *refiner) build() *Skeleton {
+	skel := NewSkeleton(w.g.N())
+	for _, e := range w.edges {
+		if !e.deleted {
+			skel.AddPath(e.path)
+		}
+	}
+	return skel
+}
+
+// dropRedundantParallels removes duplicate connections between the same
+// site pair whose connectors are close to each other — artifacts of a
+// bisector band shattering into several components under sparse sampling.
+func (w *refiner) dropRedundantParallels() {
+	byPair := make(map[SitePair][]int)
+	for i, e := range w.edges {
+		byPair[MakeSitePair(e.a, e.b)] = append(byPair[MakeSitePair(e.a, e.b)], i)
+	}
+	nearLimit := 2*w.p.Alpha + 3
+	for _, idxs := range byPair {
+		if len(idxs) < 2 {
+			continue
+		}
+		// Keep the widest band first; drop others whose connector is near a
+		// kept one.
+		sort.Slice(idxs, func(a, b int) bool {
+			if w.edges[idxs[a]].segs != w.edges[idxs[b]].segs {
+				return w.edges[idxs[a]].segs > w.edges[idxs[b]].segs
+			}
+			return w.edges[idxs[a]].connector < w.edges[idxs[b]].connector
+		})
+		kept := []int{idxs[0]}
+		for _, ei := range idxs[1:] {
+			redundant := false
+			for _, kj := range kept {
+				if hopDistWithin(w.g, w.edges[ei].connector, w.edges[kj].connector, nearLimit) {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				w.edges[ei].deleted = true
+			} else {
+				kept = append(kept, ei)
+			}
+		}
+	}
+}
+
+// classifyLoops realises the paper's end-node loop test in its junction
+// form. Every edge's band carries two end nodes; where three or more
+// Voronoi cells meet (no hole), the bands of the pairwise edges converge,
+// so their end nodes cluster within a few hops of each other — the "end
+// node loop is small" condition. The cycles among the edges meeting at such
+// a junction cluster are exactly the fake loops: they are broken by
+// deleting redundant edges, preferring to keep edges that do not run
+// between two junctions and edges with more central connectors. Rings
+// around holes never cluster on the hole side (their end nodes are
+// separated by the hole-boundary arcs), so genuine loops survive.
+func (w *refiner) classifyLoops() {
+	skel := w.build()
+	radius := w.junctionRadius()
+	if w.debugf != nil {
+		w.debugf("junction radius=%d", radius)
+	}
+
+	// Gather the end nodes of all active edges.
+	type endRef struct {
+		edge int
+		node int32
+	}
+	var ends []endRef
+	for i, e := range w.edges {
+		if e.deleted {
+			continue
+		}
+		ends = append(ends, endRef{edge: i, node: e.ends[0]})
+		if e.ends[1] != e.ends[0] {
+			ends = append(ends, endRef{edge: i, node: e.ends[1]})
+		}
+	}
+
+	// Cluster end nodes: each floods up to the junction radius without
+	// crossing the skeleton; end nodes whose floods touch are merged.
+	uf := newUnionFind(len(ends))
+	reachedBy := make(map[int32][]int) // graph node -> end indices
+	for i, er := range ends {
+		for _, v := range w.floodFrom(er.node, radius, skel) {
+			for _, j := range reachedBy[v] {
+				uf.union(i, j)
+			}
+			reachedBy[v] = append(reachedBy[v], i)
+		}
+	}
+	clusters := make(map[int][]endRef)
+	for i, er := range ends {
+		r := uf.find(i)
+		clusters[r] = append(clusters[r], er)
+	}
+
+	// An edge is "inter-junction" when both of its end nodes sit in
+	// (possibly different) clusters of size > 1 — it crosses open space
+	// between meeting points rather than reaching a boundary.
+	clusterOf := make(map[endKey]int)
+	clusterSize := make(map[int]int)
+	for r, members := range clusters {
+		for _, er := range members {
+			clusterOf[endKey{er.edge, er.node}] = r
+			clusterSize[r] = len(members)
+		}
+	}
+	interJunction := func(ei int) bool {
+		e := w.edges[ei]
+		r0, ok0 := clusterOf[endKey{ei, e.ends[0]}]
+		r1, ok1 := clusterOf[endKey{ei, e.ends[1]}]
+		return ok0 && ok1 && clusterSize[r0] > 1 && clusterSize[r1] > 1
+	}
+
+	// Per cluster, break every cycle among its edges: add edges to a
+	// spanning forest in keep-priority order; edges closing a cycle are
+	// fake and get deleted.
+	roots := make([]int, 0, len(clusters))
+	for r, members := range clusters {
+		if len(members) > 1 {
+			roots = append(roots, r)
+		}
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		var edgeIdx []int
+		seen := make(map[int]bool)
+		siteSet := make(map[int32]bool)
+		for _, er := range clusters[r] {
+			if !seen[er.edge] && !w.edges[er.edge].deleted {
+				seen[er.edge] = true
+				edgeIdx = append(edgeIdx, er.edge)
+				siteSet[w.edges[er.edge].a] = true
+				siteSet[w.edges[er.edge].b] = true
+			}
+		}
+		if len(edgeIdx) < 3 {
+			continue // fewer than three edges cannot close a junction cycle
+		}
+		// Keep-priority: boundary-reaching edges first, then by descending
+		// connector index, then by ID for determinism.
+		sort.Slice(edgeIdx, func(a, b int) bool {
+			ea, eb := edgeIdx[a], edgeIdx[b]
+			ja, jb := interJunction(ea), interJunction(eb)
+			if ja != jb {
+				return !ja // non-inter-junction edges are kept first
+			}
+			ia, ib := w.index[w.edges[ea].connector], w.index[w.edges[eb].connector]
+			if ia != ib {
+				return ia > ib
+			}
+			return ea < eb
+		})
+		forest := newUnionFindSparse()
+		for _, ei := range edgeIdx {
+			if forest.union(w.edges[ei].a, w.edges[ei].b) {
+				continue
+			}
+			// Closing a junction cycle: fake loop.
+			w.edges[ei].deleted = true
+			if w.debugf != nil {
+				w.debugf("fake junction loop at cluster %d: deleting edge %d (%d-%d)",
+					r, ei, w.edges[ei].a, w.edges[ei].b)
+			}
+			w.loops = append(w.loops, Loop{
+				Kind:       LoopFake,
+				Sites:      sortedSites(siteSet),
+				Hub:        w.edges[ei].connector,
+				EndLoopLen: 0,
+			})
+		}
+	}
+
+	// Report the surviving independent cycles as genuine loops.
+	for _, ei := range w.nonTreeEdges() {
+		if cycle := w.minimalCycle(ei); cycle != nil {
+			w.loops = append(w.loops, Loop{
+				Kind:  LoopGenuine,
+				Sites: w.cycleSites(cycle),
+				Hub:   -1,
+			})
+		}
+	}
+}
+
+// endKey identifies one end of one edge.
+type endKey struct {
+	edge int
+	node int32
+}
+
+// junctionRadius is the flood radius for end-node clustering. Junction
+// pockets are a couple of hops wide at any density, but the arcs separating
+// a hole ring's end nodes shrink (in hops) as the radio range grows, so the
+// radius scales with the mean site-edge path length and is clamped to
+// [Alpha+1, Alpha+3].
+func (w *refiner) junctionRadius() int32 {
+	total, count := 0, 0
+	for _, e := range w.edges {
+		if !e.deleted {
+			total += len(e.path) - 1
+			count++
+		}
+	}
+	lo, hi := w.p.Alpha+1, w.p.Alpha+3
+	if count == 0 {
+		return lo
+	}
+	r := int32(total) / int32(count) / 3
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}
+
+// floodFrom returns the nodes within the given hop radius of src, not
+// entering skeleton nodes (the source is admitted even if on the skeleton).
+func (w *refiner) floodFrom(src int32, radius int32, skel *Skeleton) []int32 {
+	dist := map[int32]int32{src: 0}
+	queue := []int32{src}
+	out := []int32{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if du >= radius {
+			continue
+		}
+		for _, v := range w.g.Neighbors(int(u)) {
+			if _, seen := dist[v]; seen {
+				continue
+			}
+			if skel.Contains(v) {
+				continue
+			}
+			dist[v] = du + 1
+			queue = append(queue, v)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// nonTreeEdges returns, for the current site-level graph, the edges outside
+// a BFS spanning forest — one per independent cycle.
+func (w *refiner) nonTreeEdges() []int {
+	uf := newUnionFindSparse()
+	var nontree []int
+	for i, e := range w.edges {
+		if e.deleted {
+			continue
+		}
+		if !uf.union(e.a, e.b) {
+			nontree = append(nontree, i)
+		}
+	}
+	return nontree
+}
+
+// minimalCycle returns a shortest site-level cycle through edge ei, as the
+// ordered edge-index list, or nil if removing ei disconnects its endpoints
+// (no cycle).
+func (w *refiner) minimalCycle(ei int) []int {
+	type hop struct {
+		vertex  int32
+		viaEdge int
+	}
+	adj := make(map[int32][]hop)
+	for i, e := range w.edges {
+		if e.deleted || i == ei {
+			continue
+		}
+		adj[e.a] = append(adj[e.a], hop{vertex: e.b, viaEdge: i})
+		adj[e.b] = append(adj[e.b], hop{vertex: e.a, viaEdge: i})
+	}
+	src, dst := w.edges[ei].a, w.edges[ei].b
+	parent := map[int32]hop{src: {vertex: src, viaEdge: -1}}
+	queue := []int32{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if u == dst {
+			break
+		}
+		for _, h := range adj[u] {
+			if _, seen := parent[h.vertex]; !seen {
+				parent[h.vertex] = hop{vertex: u, viaEdge: h.viaEdge}
+				queue = append(queue, h.vertex)
+			}
+		}
+	}
+	if _, ok := parent[dst]; !ok {
+		return nil
+	}
+	cycle := []int{ei}
+	for v := dst; v != src; {
+		h := parent[v]
+		cycle = append(cycle, h.viaEdge)
+		v = h.vertex
+	}
+	return cycle
+}
+
+// cycleSites lists the distinct site vertices of a cycle.
+func (w *refiner) cycleSites(cycle []int) []int32 {
+	set := make(map[int32]bool, len(cycle))
+	for _, ei := range cycle {
+		set[w.edges[ei].a] = true
+		set[w.edges[ei].b] = true
+	}
+	return sortedSites(set)
+}
+
+// hopDistWithin reports whether dst is within limit hops of src.
+func hopDistWithin(g *graph.Graph, src, dst int32, limit int32) bool {
+	if src == dst {
+		return true
+	}
+	dist := map[int32]int32{src: 0}
+	queue := []int32{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if du >= limit {
+			continue
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			if _, seen := dist[v]; seen {
+				continue
+			}
+			if v == dst {
+				return true
+			}
+			dist[v] = du + 1
+			queue = append(queue, v)
+		}
+	}
+	return false
+}
+
+// hubPath builds the replacement path from the hub to a site: via the hub's
+// own reverse path when recorded, otherwise via BFS restricted to the
+// group's cells, falling back to an unrestricted BFS.
+func hubPath(g *graph.Graph, records [][]SiteDist, cellOf []int32, sites map[int32]bool, hub, site int32) []int32 {
+	if _, ok := recordFor(records, hub, site); ok {
+		return pathToSite(records, hub, site)
+	}
+	if path := bfsPath(g, hub, site, func(v int32) bool { return sites[cellOf[v]] }); path != nil {
+		return path
+	}
+	return bfsPath(g, hub, site, nil)
+}
+
+// bfsPath returns a shortest path from src to dst visiting only nodes
+// allowed by the filter (nil means all); nil result if unreachable.
+func bfsPath(g *graph.Graph, src, dst int32, allowed func(int32) bool) []int32 {
+	parent := map[int32]int32{src: src}
+	queue := []int32{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if u == dst {
+			var rev []int32
+			for v := dst; ; v = parent[v] {
+				rev = append(rev, v)
+				if parent[v] == v {
+					break
+				}
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			if _, seen := parent[v]; seen {
+				continue
+			}
+			if v != dst && allowed != nil && !allowed(v) {
+				continue
+			}
+			parent[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func sortedSites(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// pruneThreshold resolves the branch-pruning length.
+func pruneThreshold(p Params, edges []SiteEdge) int {
+	if p.PruneLen > 0 {
+		return p.PruneLen
+	}
+	if len(edges) == 0 {
+		return 2
+	}
+	total := 0
+	for _, e := range edges {
+		total += len(e.Path) - 1
+	}
+	auto := int(0.4 * float64(total) / float64(len(edges)))
+	if auto < 2 {
+		auto = 2
+	}
+	return auto
+}
+
+// pruneBranches iteratively removes leaf branches shorter than minLen hops,
+// the paper's final trimming step. A branch is the chain from a leaf to the
+// first junction (skeleton degree >= 3); isolated paths (no junction) are
+// never pruned away entirely.
+func pruneBranches(skel *Skeleton, minLen int) {
+	for {
+		pruned := false
+		for _, v := range skel.Nodes() {
+			if skel.Degree(v) != 1 {
+				continue
+			}
+			chain := []int32{v}
+			prev := v
+			cur := skel.Neighbors(v)[0]
+			for skel.Degree(cur) == 2 {
+				chain = append(chain, cur)
+				next := skel.Neighbors(cur)[0]
+				if next == prev {
+					next = skel.Neighbors(cur)[1]
+				}
+				prev, cur = cur, next
+			}
+			if skel.Degree(cur) < 3 {
+				continue // a free-standing path, not a branch
+			}
+			if len(chain) >= minLen {
+				continue
+			}
+			for _, u := range chain {
+				skel.RemoveNode(u)
+			}
+			pruned = true
+		}
+		if !pruned {
+			return
+		}
+	}
+}
+
+// unionFind is a dense union-find over 0..n-1.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// unionFindSparse is a union-find over int32 keys created on demand; union
+// reports whether the two elements were in different sets (i.e. the union
+// did merge).
+type unionFindSparse struct {
+	parent map[int32]int32
+}
+
+func newUnionFindSparse() *unionFindSparse {
+	return &unionFindSparse{parent: make(map[int32]int32)}
+}
+
+func (u *unionFindSparse) find(x int32) int32 {
+	if _, ok := u.parent[x]; !ok {
+		u.parent[x] = x
+		return x
+	}
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFindSparse) union(a, b int32) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[rb] = ra
+	return true
+}
+
+// PruneLeafBranches removes leaf branches shorter than minLen hops from any
+// skeleton. Exported because the CASE baseline shares the paper's pruning
+// step.
+func PruneLeafBranches(skel *Skeleton, minLen int) {
+	pruneBranches(skel, minLen)
+}

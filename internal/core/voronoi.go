@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bfskel/internal/graph"
+)
+
+// voronoi runs Phase 2 (Sec. III-B): the sites flood simultaneously; each
+// node keeps its nearest site, its hop distance and the reverse path, and
+// nodes almost equidistant (slack Alpha) to several sites record all of
+// them, becoming segment nodes (two records) or Voronoi nodes (three or
+// more).
+//
+// Centralized realisation: a first multi-source BFS assigns the minimum
+// distance dmin; then one pruned BFS per site visits exactly the nodes v
+// with dist_s(v) <= dmin(v)+Alpha. The pruning is exact because along any
+// shortest path toward s the slack dist_s - dmin never increases (triangle
+// inequality in the hop metric), so the visited sets match the paper's
+// forwarding rule while keeping total work near-linear.
+func voronoi(g *graph.Graph, sites []int32, alpha int32) (cellOf, distToSite []int32, records [][]SiteDist) {
+	n := g.N()
+	cellOf = make([]int32, n)
+	distToSite = make([]int32, n)
+	records = make([][]SiteDist, n)
+	for i := range cellOf {
+		cellOf[i] = -1
+		distToSite[i] = graph.Unreachable
+	}
+	if len(sites) == 0 {
+		return cellOf, distToSite, records
+	}
+
+	// Pass 1: plain multi-source BFS for dmin; ties go to the lowest site
+	// ID because sites are enqueued in increasing ID order.
+	queue := make([]int32, 0, n)
+	for _, s := range sites {
+		distToSite[s] = 0
+		cellOf[s] = s
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := distToSite[u]
+		for _, v := range g.Neighbors(int(u)) {
+			if distToSite[v] == graph.Unreachable {
+				distToSite[v] = du + 1
+				cellOf[v] = cellOf[u]
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	// Pass 2: per-site pruned BFS recording (site, dist, parent) wherever
+	// dist <= dmin + alpha.
+	dist := make([]int32, n)
+	stamp := make([]int32, n)
+	parent := make([]int32, n)
+	var epoch int32
+	for _, s := range sites {
+		epoch++
+		dist[s] = 0
+		stamp[s] = epoch
+		parent[s] = s
+		queue = queue[:0]
+		queue = append(queue, s)
+		records[s] = append(records[s], SiteDist{Site: s, D: 0, Parent: s})
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := dist[u]
+			for _, v := range g.Neighbors(int(u)) {
+				if stamp[v] == epoch {
+					continue
+				}
+				dv := du + 1
+				if distToSite[v] == graph.Unreachable || dv > distToSite[v]+alpha {
+					continue
+				}
+				stamp[v] = epoch
+				dist[v] = dv
+				parent[v] = u
+				queue = append(queue, v)
+				records[v] = append(records[v], SiteDist{Site: s, D: dv, Parent: u})
+			}
+		}
+	}
+	return cellOf, distToSite, records
+}
+
+// specialNodes extracts the sorted segment-node and Voronoi-node lists from
+// the per-node records.
+func specialNodes(records [][]SiteDist) (segment, voronoiNodes []int32) {
+	for v, recs := range records {
+		switch {
+		case len(recs) >= 3:
+			voronoiNodes = append(voronoiNodes, int32(v))
+			segment = append(segment, int32(v))
+		case len(recs) == 2:
+			segment = append(segment, int32(v))
+		}
+	}
+	return segment, voronoiNodes
+}
+
+// recordFor returns the record of the given site at node v, if any.
+func recordFor(records [][]SiteDist, v, site int32) (SiteDist, bool) {
+	for _, r := range records[v] {
+		if r.Site == site {
+			return r, true
+		}
+	}
+	return SiteDist{}, false
+}
+
+// pathToSite follows the recorded parents from v to the given site; it
+// returns the node sequence v, ..., site. The reverse-path invariant holds
+// because every recorded node's parent is also recorded for the same site.
+func pathToSite(records [][]SiteDist, v, site int32) []int32 {
+	var path []int32
+	cur := v
+	for {
+		path = append(path, cur)
+		if cur == site {
+			return path
+		}
+		rec, ok := recordFor(records, cur, site)
+		if !ok {
+			// Should be unreachable by construction; return what we have so
+			// a corrupted record manifests as a short path, not a hang.
+			return path
+		}
+		if rec.Parent == cur {
+			return path
+		}
+		cur = rec.Parent
+	}
+}

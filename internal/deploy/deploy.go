@@ -1,0 +1,125 @@
+// Package deploy places sensor nodes inside a deployment field. It provides
+// the uniform-at-random deployment assumed throughout the paper (Sec. II-A)
+// and the skewed distributions of Fig. 8. All generators are deterministic
+// given a seed.
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"bfskel/internal/geom"
+)
+
+// ErrNoCapacity is returned when rejection sampling cannot place the
+// requested number of nodes (e.g. a degenerate region).
+var ErrNoCapacity = errors.New("deploy: region too small for requested node count")
+
+// maxRejectionFactor bounds rejection sampling: we allow this many candidate
+// draws per accepted node before giving up.
+const maxRejectionFactor = 10000
+
+// Uniform places n nodes uniformly at random inside the polygon, using
+// rejection sampling from the bounding box.
+func Uniform(pg *geom.Polygon, n int, seed int64) ([]geom.Point, error) {
+	return Weighted(pg, n, seed, nil)
+}
+
+// Weighted places n nodes inside the polygon with acceptance probability
+// accept(p) at each candidate location (accept == nil means uniform). The
+// resulting density at p is proportional to accept(p). This implements the
+// skewed nodal distributions of Fig. 8.
+func Weighted(pg *geom.Polygon, n int, seed int64, accept func(geom.Point) float64) ([]geom.Point, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("deploy: node count must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := pg.Bounds()
+	out := make([]geom.Point, 0, n)
+	budget := n * maxRejectionFactor
+	for len(out) < n && budget > 0 {
+		budget--
+		p := geom.Pt(
+			b.Min.X+rng.Float64()*b.Width(),
+			b.Min.Y+rng.Float64()*b.Height(),
+		)
+		if !pg.Contains(p) {
+			continue
+		}
+		if accept != nil && rng.Float64() >= accept(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) < n {
+		return nil, ErrNoCapacity
+	}
+	return out, nil
+}
+
+// Thin keeps each point of a deployment independently with probability
+// keep(p), reproducing the "sample drawn from" construction of Fig. 8.
+func Thin(pts []geom.Point, seed int64, keep func(geom.Point) float64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var out []geom.Point
+	for _, p := range pts {
+		if rng.Float64() < keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VerticalGradient returns an acceptance function that varies linearly from
+// bottomProb at y=minY to topProb at y=maxY — Fig. 8(a)'s "upper part denser
+// than the lower part".
+func VerticalGradient(minY, maxY, bottomProb, topProb float64) func(geom.Point) float64 {
+	span := maxY - minY
+	return func(p geom.Point) float64 {
+		if span <= 0 {
+			return topProb
+		}
+		t := (p.Y - minY) / span
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return bottomProb + t*(topProb-bottomProb)
+	}
+}
+
+// HalfPlane returns an acceptance function that is leftProb for x < splitX
+// and rightProb otherwise — Fig. 8(b)'s construction (left part kept with
+// probability 0.65, right part with probability 1.0).
+func HalfPlane(splitX, leftProb, rightProb float64) func(geom.Point) float64 {
+	return func(p geom.Point) float64 {
+		if p.X < splitX {
+			return leftProb
+		}
+		return rightProb
+	}
+}
+
+// PerturbedGrid places nodes on a regular grid with the given spacing,
+// jittered by at most jitter in each coordinate, keeping only points inside
+// the polygon. Useful for deterministic low-variance test networks.
+func PerturbedGrid(pg *geom.Polygon, spacing, jitter float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	b := pg.Bounds()
+	var out []geom.Point
+	for y := b.Min.Y + spacing/2; y < b.Max.Y; y += spacing {
+		for x := b.Min.X + spacing/2; x < b.Max.X; x += spacing {
+			p := geom.Pt(
+				x+(rng.Float64()*2-1)*jitter,
+				y+(rng.Float64()*2-1)*jitter,
+			)
+			if pg.Contains(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package deploy_test
+
+import (
+	"testing"
+
+	"bfskel/internal/deploy"
+	"bfskel/internal/geom"
+	"bfskel/internal/shapes"
+)
+
+func square(side float64) *geom.Polygon {
+	return geom.MustPolygon(geom.Ring{
+		geom.Pt(0, 0), geom.Pt(side, 0), geom.Pt(side, side), geom.Pt(0, side),
+	})
+}
+
+func TestUniformCountAndContainment(t *testing.T) {
+	pg := square(50)
+	pts, err := deploy.Uniform(pg, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 500 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !pg.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	pg := square(50)
+	a, _ := deploy.Uniform(pg, 100, 7)
+	b, _ := deploy.Uniform(pg, 100, 7)
+	c, _ := deploy.Uniform(pg, 100, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical deployments")
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	pg := square(50)
+	if _, err := deploy.Uniform(pg, 0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := deploy.Uniform(pg, -5, 1); err == nil {
+		t.Error("negative n should error")
+	}
+}
+
+func TestWeightedSkew(t *testing.T) {
+	pg := square(100)
+	grad := deploy.VerticalGradient(0, 100, 0.2, 1.0)
+	pts, err := deploy.Weighted(pg, 4000, 3, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lower, upper int
+	for _, p := range pts {
+		if p.Y < 50 {
+			lower++
+		} else {
+			upper++
+		}
+	}
+	if upper <= lower*3/2 {
+		t.Errorf("gradient not skewed: lower=%d upper=%d", lower, upper)
+	}
+}
+
+func TestHalfPlane(t *testing.T) {
+	accept := deploy.HalfPlane(50, 0.65, 1.0)
+	if got := accept(geom.Pt(10, 0)); got != 0.65 {
+		t.Errorf("left prob = %v", got)
+	}
+	if got := accept(geom.Pt(90, 0)); got != 1.0 {
+		t.Errorf("right prob = %v", got)
+	}
+}
+
+func TestVerticalGradientClamps(t *testing.T) {
+	g := deploy.VerticalGradient(0, 10, 0.2, 0.8)
+	if got := g(geom.Pt(0, -5)); got != 0.2 {
+		t.Errorf("below range = %v", got)
+	}
+	if got := g(geom.Pt(0, 15)); got != 0.8 {
+		t.Errorf("above range = %v", got)
+	}
+	if got := g(geom.Pt(0, 5)); got != 0.5 {
+		t.Errorf("midpoint = %v", got)
+	}
+	degenerate := deploy.VerticalGradient(5, 5, 0.2, 0.8)
+	if got := degenerate(geom.Pt(0, 5)); got != 0.8 {
+		t.Errorf("degenerate span = %v", got)
+	}
+}
+
+func TestThin(t *testing.T) {
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i), 0)
+	}
+	kept := deploy.Thin(pts, 1, func(geom.Point) float64 { return 0.5 })
+	if len(kept) < 400 || len(kept) > 600 {
+		t.Errorf("kept %d of 1000 at p=0.5", len(kept))
+	}
+	all := deploy.Thin(pts, 1, func(geom.Point) float64 { return 1 })
+	if len(all) != 1000 {
+		t.Errorf("p=1 kept %d", len(all))
+	}
+	none := deploy.Thin(pts, 1, func(geom.Point) float64 { return 0 })
+	if len(none) != 0 {
+		t.Errorf("p=0 kept %d", len(none))
+	}
+}
+
+func TestPerturbedGrid(t *testing.T) {
+	pg := square(100)
+	pts := deploy.PerturbedGrid(pg, 2, 0.9, 1)
+	// ~50x50 grid cells => ~2500 interior points.
+	if len(pts) < 2300 || len(pts) > 2600 {
+		t.Errorf("grid produced %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !pg.Contains(p) {
+			t.Fatalf("grid point %v outside region", p)
+		}
+	}
+	// Deterministic.
+	again := deploy.PerturbedGrid(pg, 2, 0.9, 1)
+	if len(again) != len(pts) || again[0] != pts[0] {
+		t.Error("grid not deterministic")
+	}
+}
+
+// TestWeightedOnAllShapes: every registered field accepts a deployment.
+func TestWeightedOnAllShapes(t *testing.T) {
+	for _, s := range shapes.All() {
+		if _, err := deploy.Uniform(s.Poly, 200, 1); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}

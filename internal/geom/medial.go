@@ -1,0 +1,265 @@
+package geom
+
+import "math"
+
+// MedialAxisOptions controls the grid-based approximation of a polygon's
+// continuous medial axis (Blum's skeleton), which serves as ground truth for
+// evaluating extracted discrete skeletons.
+type MedialAxisOptions struct {
+	// GridStep is the spacing of the sample lattice. Smaller values give a
+	// denser, more accurate axis at quadratic cost. If zero, a step of
+	// 1/200 of the larger bounding-box dimension is used.
+	GridStep float64
+	// BoundaryStep is the spacing of boundary samples used to locate
+	// tangent points. If zero, GridStep/2 is used.
+	BoundaryStep float64
+	// MinAngle is the minimal angle (radians) the two nearest boundary
+	// points must subtend at a medial point. Blum's definition requires two
+	// distinct tangent points; the angle threshold suppresses the unstable
+	// branches caused by boundary vertices. Defaults to 0.6 rad (~34°).
+	MinAngle float64
+	// Tol is the slack allowed between the distances to the two tangent
+	// points, as a fraction of the clearance. Defaults to 0.15.
+	Tol float64
+	// MinClearance drops samples closer to the boundary than this; it
+	// suppresses the short vertex-bisector spurs that polygonal
+	// approximations of smooth curves would otherwise sprout. Defaults to
+	// 3x GridStep.
+	MinClearance float64
+}
+
+func (o MedialAxisOptions) withDefaults(b Rect) MedialAxisOptions {
+	if o.GridStep <= 0 {
+		o.GridStep = math.Max(b.Width(), b.Height()) / 200
+	}
+	if o.BoundaryStep <= 0 {
+		o.BoundaryStep = o.GridStep / 2
+	}
+	if o.MinAngle <= 0 {
+		o.MinAngle = 0.6
+	}
+	if o.Tol <= 0 {
+		o.Tol = 0.15
+	}
+	if o.MinClearance <= 0 {
+		o.MinClearance = 3 * o.GridStep
+	}
+	return o
+}
+
+// MedialPoint is a sample of the approximate medial axis: its location and
+// clearance (radius of the maximal inscribed disk centered there).
+type MedialPoint struct {
+	P         Point
+	Clearance float64
+}
+
+// MedialAxis approximates the continuous medial axis of the polygon by
+// scanning a lattice of interior points and keeping those whose nearest
+// boundary samples split into two well-separated clusters — the discrete
+// analogue of "the maximal disk touches the boundary at two or more tangent
+// points" (Blum's definition, paper Sec. II-B).
+func MedialAxis(pg *Polygon, opts MedialAxisOptions) []MedialPoint {
+	b := pg.Bounds()
+	opts = opts.withDefaults(b)
+	samples := SampleBoundary(pg, opts.BoundaryStep)
+	idx := newPointIndex(samples, opts.BoundaryStep*4)
+
+	var out []MedialPoint
+	for y := b.Min.Y; y <= b.Max.Y; y += opts.GridStep {
+		for x := b.Min.X; x <= b.Max.X; x += opts.GridStep {
+			p := Point{X: x, Y: y}
+			if !pg.Contains(p) {
+				continue
+			}
+			clearance := pg.BoundaryDist(p)
+			if clearance < opts.MinClearance {
+				continue // too close to the boundary to be medial
+			}
+			if hasTwoTangents(p, clearance, idx, opts) {
+				out = append(out, MedialPoint{P: p, Clearance: clearance})
+			}
+		}
+	}
+	return out
+}
+
+// hasTwoTangents reports whether the near-boundary samples of p split into
+// two directions separated by at least MinAngle.
+func hasTwoTangents(p Point, clearance float64, idx *pointIndex, opts MedialAxisOptions) bool {
+	maxDist := clearance * (1 + opts.Tol)
+	near := idx.within(p, maxDist)
+	if len(near) < 2 {
+		return false
+	}
+	// Find the direction of the nearest sample, then look for another
+	// near-sample at sufficient angular separation.
+	best := math.Inf(1)
+	var ref Point
+	for _, q := range near {
+		if d := p.Dist2(q); d < best {
+			best = d
+			ref = q
+		}
+	}
+	refAngle := math.Atan2(ref.Y-p.Y, ref.X-p.X)
+	for _, q := range near {
+		a := math.Atan2(q.Y-p.Y, q.X-p.X)
+		diff := math.Abs(angleDiff(a, refAngle))
+		if diff >= opts.MinAngle {
+			return true
+		}
+	}
+	return false
+}
+
+// angleDiff returns the signed difference between two angles in (-π, π].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// SampleBoundary returns points spaced at most step apart along every
+// boundary ring of the polygon.
+func SampleBoundary(pg *Polygon, step float64) []Point {
+	var out []Point
+	for _, r := range pg.Rings() {
+		n := len(r)
+		for i := 0; i < n; i++ {
+			a, b := r[i], r[(i+1)%n]
+			l := a.Dist(b)
+			segs := int(math.Ceil(l / step))
+			if segs < 1 {
+				segs = 1
+			}
+			for s := 0; s < segs; s++ {
+				t := float64(s) / float64(segs)
+				out = append(out, a.Add(b.Sub(a).Scale(t)))
+			}
+		}
+	}
+	return out
+}
+
+// IntersectionArea estimates λ(D_i(c, r)) — the area of the intersection of
+// the disk D(c, r) with the polygon (paper Sec. II-B) — by lattice sampling
+// with the given step.
+func IntersectionArea(pg *Polygon, c Point, r, step float64) float64 {
+	if step <= 0 {
+		step = r / 50
+	}
+	var inside int
+	var total int
+	r2 := r * r
+	for y := c.Y - r; y <= c.Y+r; y += step {
+		for x := c.X - r; x <= c.X+r; x += step {
+			p := Point{X: x, Y: y}
+			if p.Dist2(c) > r2 {
+				continue
+			}
+			total++
+			if pg.Contains(p) {
+				inside++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return math.Pi * r2 * float64(inside) / float64(total)
+}
+
+// Centrality estimates the ε-centrality C_R^ε(c) of Definition 1: the
+// average intersection area λ(D_i(v, r)) over points v in the ε-disk around
+// c, computed by lattice sampling with the given step inside the ε-disk.
+func Centrality(pg *Polygon, c Point, r, eps, step float64) float64 {
+	if step <= 0 {
+		step = eps / 8
+	}
+	var sum float64
+	var count int
+	eps2 := eps * eps
+	for y := c.Y - eps; y <= c.Y+eps; y += step {
+		for x := c.X - eps; x <= c.X+eps; x += step {
+			v := Point{X: x, Y: y}
+			if v.Dist2(c) > eps2 {
+				continue
+			}
+			sum += IntersectionArea(pg, v, r, r/20)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// pointIndex is a uniform-grid spatial index over a fixed point set.
+type pointIndex struct {
+	cell   float64
+	origin Point
+	cols   int
+	rows   int
+	bins   map[int][]Point
+}
+
+func newPointIndex(pts []Point, cell float64) *pointIndex {
+	if cell <= 0 {
+		cell = 1
+	}
+	idx := &pointIndex{cell: cell, bins: make(map[int][]Point, len(pts))}
+	if len(pts) == 0 {
+		return idx
+	}
+	b := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		b.Min.X = math.Min(b.Min.X, p.X)
+		b.Min.Y = math.Min(b.Min.Y, p.Y)
+		b.Max.X = math.Max(b.Max.X, p.X)
+		b.Max.Y = math.Max(b.Max.Y, p.Y)
+	}
+	idx.origin = b.Min
+	idx.cols = int(b.Width()/cell) + 1
+	idx.rows = int(b.Height()/cell) + 1
+	for _, p := range pts {
+		k := idx.key(p)
+		idx.bins[k] = append(idx.bins[k], p)
+	}
+	return idx
+}
+
+func (idx *pointIndex) key(p Point) int {
+	cx := int((p.X - idx.origin.X) / idx.cell)
+	cy := int((p.Y - idx.origin.Y) / idx.cell)
+	return cy*idx.cols + cx
+}
+
+// within returns all indexed points at distance <= r from p.
+func (idx *pointIndex) within(p Point, r float64) []Point {
+	var out []Point
+	r2 := r * r
+	cx0 := int((p.X - r - idx.origin.X) / idx.cell)
+	cx1 := int((p.X + r - idx.origin.X) / idx.cell)
+	cy0 := int((p.Y - r - idx.origin.Y) / idx.cell)
+	cy1 := int((p.Y + r - idx.origin.Y) / idx.cell)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			if cx < 0 || cy < 0 || cx >= idx.cols || cy >= idx.rows {
+				continue
+			}
+			for _, q := range idx.bins[cy*idx.cols+cx] {
+				if p.Dist2(q) <= r2 {
+					out = append(out, q)
+				}
+			}
+		}
+	}
+	return out
+}

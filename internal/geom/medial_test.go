@@ -1,0 +1,170 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// circleRing builds an n-gon circle (duplicated from shapes to keep geom
+// dependency-free).
+func circleRing(c Point, r float64, n int) Ring {
+	ring := make(Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		ring[i] = Pt(c.X+r*math.Cos(a), c.Y+r*math.Sin(a))
+	}
+	return ring
+}
+
+// TestMedialAxisRectangle: the medial axis of a long rectangle is its
+// horizontal center line plus short diagonal spurs at the ends; all samples
+// must sit near y=5 or on the 45-degree corner bisectors.
+func TestMedialAxisRectangle(t *testing.T) {
+	pg := MustPolygon(Ring{Pt(0, 0), Pt(40, 0), Pt(40, 10), Pt(0, 10)})
+	axis := MedialAxis(pg, MedialAxisOptions{GridStep: 0.5})
+	if len(axis) == 0 {
+		t.Fatal("no medial samples")
+	}
+	for _, m := range axis {
+		onCenter := math.Abs(m.P.Y-5) < 0.75
+		// Corner bisectors: clearance equals distance to both walls.
+		onBisector := math.Abs(m.Clearance-math.Min(m.P.X, 40-m.P.X)) < 0.75
+		if !onCenter && !onBisector {
+			t.Fatalf("sample %v (clearance %.2f) is off the rectangle's medial axis", m.P, m.Clearance)
+		}
+	}
+	// The axis must span most of the rectangle's length.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, m := range axis {
+		minX = math.Min(minX, m.P.X)
+		maxX = math.Max(maxX, m.P.X)
+	}
+	if maxX-minX < 30 {
+		t.Errorf("axis spans [%.1f, %.1f], want most of [0,40]", minX, maxX)
+	}
+}
+
+// TestMedialAxisAnnulus: the medial axis of an annulus is the mid circle.
+func TestMedialAxisAnnulus(t *testing.T) {
+	c := Pt(0, 0)
+	pg := MustPolygon(circleRing(c, 10, 90), circleRing(c, 4, 60))
+	axis := MedialAxis(pg, MedialAxisOptions{GridStep: 0.4, MinClearance: 1.6})
+	if len(axis) == 0 {
+		t.Fatal("no medial samples")
+	}
+	// The polygonal circle approximation adds short vertex-bisector spurs
+	// near the rings; the bulk of the axis must still be the mid circle.
+	onMid := 0
+	for _, m := range axis {
+		if math.Abs(m.P.Dist(c)-7) <= 1 {
+			onMid++
+		}
+	}
+	if frac := float64(onMid) / float64(len(axis)); frac < 0.9 {
+		t.Errorf("only %.0f%% of samples on the mid circle", 100*frac)
+	}
+}
+
+// TestMedialClearanceMatchesBoundaryDist: each sample's clearance is its
+// boundary distance.
+func TestMedialClearanceMatchesBoundaryDist(t *testing.T) {
+	pg := MustPolygon(Ring{Pt(0, 0), Pt(20, 0), Pt(20, 20), Pt(0, 20)})
+	axis := MedialAxis(pg, MedialAxisOptions{GridStep: 1})
+	for _, m := range axis {
+		if d := pg.BoundaryDist(m.P); !almostEq(d, m.Clearance, 1e-9) {
+			t.Fatalf("clearance %.3f != boundary dist %.3f at %v", m.Clearance, d, m.P)
+		}
+	}
+}
+
+// TestIntersectionArea: a disk fully inside the region has intersection
+// area ~pi r^2; a disk centered on a straight boundary edge has about half.
+func TestIntersectionArea(t *testing.T) {
+	pg := MustPolygon(Ring{Pt(0, 0), Pt(100, 0), Pt(100, 100), Pt(0, 100)})
+	full := IntersectionArea(pg, Pt(50, 50), 10, 0.25)
+	if math.Abs(full-math.Pi*100)/(math.Pi*100) > 0.03 {
+		t.Errorf("interior disk area = %.1f, want ~%.1f", full, math.Pi*100)
+	}
+	half := IntersectionArea(pg, Pt(50, 0), 10, 0.25)
+	if math.Abs(half-math.Pi*50)/(math.Pi*50) > 0.06 {
+		t.Errorf("edge disk area = %.1f, want ~%.1f", half, math.Pi*50)
+	}
+}
+
+// TestTheorem1Monotonicity reproduces paper Theorem 1 numerically: moving
+// from a skeleton point toward the boundary along a chord, the disk-region
+// intersection area does not increase.
+func TestTheorem1Monotonicity(t *testing.T) {
+	pg := MustPolygon(Ring{Pt(0, 0), Pt(100, 0), Pt(100, 20), Pt(0, 20)})
+	// The skeleton point (50,10); its chord runs straight down to (50,0).
+	const r = 8.0
+	prev := math.Inf(1)
+	for _, y := range []float64{10, 8, 6, 4, 2} {
+		area := IntersectionArea(pg, Pt(50, y), r, 0.2)
+		if area > prev*1.01 {
+			t.Fatalf("area increased toward boundary at y=%v: %.1f > %.1f", y, area, prev)
+		}
+		prev = area
+	}
+}
+
+// TestTheorem3Centrality reproduces paper Theorem 3 numerically: the
+// epsilon-centrality of a skeleton point exceeds that of points on its
+// chord toward the boundary.
+func TestTheorem3Centrality(t *testing.T) {
+	pg := MustPolygon(Ring{Pt(0, 0), Pt(100, 0), Pt(100, 20), Pt(0, 20)})
+	const (
+		r   = 8.0
+		eps = 2.0
+	)
+	center := Centrality(pg, Pt(50, 10), r, eps, 0.5)
+	toward := Centrality(pg, Pt(50, 5), r, eps, 0.5)
+	nearer := Centrality(pg, Pt(50, 3), r, eps, 0.5)
+	if !(center > toward && toward > nearer) {
+		t.Errorf("centrality not decreasing along chord: %.1f, %.1f, %.1f", center, toward, nearer)
+	}
+}
+
+// TestSampleBoundarySpacing: samples are spaced at most the requested step.
+func TestSampleBoundarySpacing(t *testing.T) {
+	pg := MustPolygon(Ring{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)})
+	step := 0.5
+	samples := SampleBoundary(pg, step)
+	want := int(pg.Outer.Perimeter() / step)
+	if len(samples) < want {
+		t.Errorf("samples = %d, want >= %d", len(samples), want)
+	}
+	for _, s := range samples {
+		if pg.BoundaryDist(s) > 1e-9 {
+			t.Fatalf("sample %v off the boundary", s)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{math.Pi / 2, 0, math.Pi / 2},
+		{-math.Pi / 2, math.Pi / 2, -math.Pi},
+		{3 * math.Pi, 0, math.Pi},
+	}
+	for _, tt := range tests {
+		if got := angleDiff(tt.a, tt.b); !almostEq(math.Abs(got), math.Abs(tt.want), 1e-9) {
+			t.Errorf("angleDiff(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPointIndexWithin(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(5, 5), Pt(-3, 2)}
+	idx := newPointIndex(pts, 2)
+	got := idx.within(Pt(0, 0), 1.5)
+	if len(got) != 2 { // (0,0) and (1,0)
+		t.Errorf("within = %v, want 2 points", got)
+	}
+	if got := idx.within(Pt(100, 100), 1); len(got) != 0 {
+		t.Errorf("far query returned %v", got)
+	}
+}

@@ -1,0 +1,144 @@
+// Package geom provides the planar-geometry substrate for the skeleton
+// extraction pipeline: points, segments, rings, polygons with holes, and
+// continuous-domain medial-axis utilities used as ground truth.
+//
+// Everything operates in plain float64 Euclidean coordinates. The package is
+// deliberately dependency-free; it is the lowest layer of the repository.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point {
+	return Point{X: x, Y: y}
+}
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point {
+	return Point{X: p.X + q.X, Y: p.Y + q.Y}
+}
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point {
+	return Point{X: p.X - q.X, Y: p.Y - q.Y}
+}
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point {
+	return Point{X: p.X * s, Y: p.Y * s}
+}
+
+// Dot returns the dot product of p and q.
+func (p Point) Dot(q Point) float64 {
+	return p.X*q.X + p.Y*q.Y
+}
+
+// Cross returns the z component of the cross product p x q.
+func (p Point) Cross(q Point) float64 {
+	return p.X*q.Y - p.Y*q.X
+}
+
+// Norm returns the Euclidean length of p seen as a vector.
+func (p Point) Norm() float64 {
+	return math.Hypot(p.X, p.Y)
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids a
+// square root and is the preferred comparison primitive on hot paths.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y)
+}
+
+// Segment is a closed line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 {
+	return s.A.Dist(s.B)
+}
+
+// Midpoint returns the midpoint of the segment.
+func (s Segment) Midpoint() Point {
+	return Point{X: (s.A.X + s.B.X) / 2, Y: (s.A.Y + s.B.Y) / 2}
+}
+
+// ClosestPoint returns the point on the segment closest to p.
+func (s Segment) ClosestPoint(p Point) Point {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return s.A
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	switch {
+	case t <= 0:
+		return s.A
+	case t >= 1:
+		return s.B
+	default:
+		return s.A.Add(d.Scale(t))
+	}
+}
+
+// Dist returns the distance from p to the segment.
+func (s Segment) Dist(p Point) float64 {
+	return p.Dist(s.ClosestPoint(p))
+}
+
+// Dist2 returns the squared distance from p to the segment.
+func (s Segment) Dist2(p Point) float64 {
+	return p.Dist2(s.ClosestPoint(p))
+}
+
+// Rect is an axis-aligned bounding rectangle.
+type Rect struct {
+	Min, Max Point
+}
+
+// Width returns the horizontal extent of the rectangle.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of the rectangle.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Expand returns the rectangle grown by m on every side.
+func (r Rect) Expand(m float64) Rect {
+	return Rect{
+		Min: Point{X: r.Min.X - m, Y: r.Min.Y - m},
+		Max: Point{X: r.Max.X + m, Y: r.Max.Y + m},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Min: Point{X: math.Min(r.Min.X, o.Min.X), Y: math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{X: math.Max(r.Max.X, o.Max.X), Y: math.Max(r.Max.Y, o.Max.Y)},
+	}
+}

@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, 4), Pt(1, -2)
+	if got := p.Add(q); got != Pt(4, 2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3*1+4*(-2) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 3*(-2)-4*1 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestDistAndDist2(t *testing.T) {
+	tests := []struct {
+		a, b Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-2, 0), Pt(2, 0), 4},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Dist(tt.b); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.a.Dist2(tt.b); !almostEq(got, tt.want*tt.want, 1e-12) {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want*tt.want)
+		}
+	}
+}
+
+// TestDistSymmetry is a property check: distance is symmetric and satisfies
+// the triangle inequality.
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(clampF(ax), clampF(ay)), Pt(clampF(bx), clampF(by)), Pt(clampF(cx), clampF(cy))
+		if a.Dist(b) != b.Dist(a) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampF folds arbitrary float64s (including NaN/Inf from quick) into a
+// sane coordinate range.
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{A: Pt(0, 0), B: Pt(10, 0)}
+	tests := []struct {
+		p    Point
+		want Point
+	}{
+		{Pt(5, 3), Pt(5, 0)},    // projects inside
+		{Pt(-4, 2), Pt(0, 0)},   // clamps to A
+		{Pt(14, -2), Pt(10, 0)}, // clamps to B
+	}
+	for _, tt := range tests {
+		if got := s.ClosestPoint(tt.p); got.Dist(tt.want) > 1e-12 {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := s.Dist(Pt(5, 3)); !almostEq(got, 3, 1e-12) {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+	// Degenerate segment.
+	d := Segment{A: Pt(1, 1), B: Pt(1, 1)}
+	if got := d.ClosestPoint(Pt(4, 5)); got != Pt(1, 1) {
+		t.Errorf("degenerate ClosestPoint = %v", got)
+	}
+	if got := s.Len(); got != 10 {
+		t.Errorf("Len = %v", got)
+	}
+	if got := s.Midpoint(); got != Pt(5, 0) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(4, 2)}
+	if r.Width() != 4 || r.Height() != 2 {
+		t.Errorf("dims = %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Pt(2, 1)) || r.Contains(Pt(5, 1)) {
+		t.Error("Contains wrong")
+	}
+	e := r.Expand(1)
+	if e.Min != Pt(-1, -1) || e.Max != Pt(5, 3) {
+		t.Errorf("Expand = %v", e)
+	}
+	u := r.Union(Rect{Min: Pt(-2, 1), Max: Pt(1, 5)})
+	if u.Min != Pt(-2, 0) || u.Max != Pt(4, 5) {
+		t.Errorf("Union = %v", u)
+	}
+}

@@ -1,0 +1,236 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Ring is a closed polygonal chain. The closing edge from the last vertex
+// back to the first is implicit; callers must not repeat the first vertex.
+type Ring []Point
+
+// ErrDegenerateRing is returned when a ring has fewer than three vertices.
+var ErrDegenerateRing = errors.New("geom: ring needs at least 3 vertices")
+
+// SignedArea returns the signed area of the ring: positive for
+// counter-clockwise orientation, negative for clockwise.
+func (r Ring) SignedArea() float64 {
+	var a float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += r[i].Cross(r[j])
+	}
+	return a / 2
+}
+
+// Area returns the absolute area enclosed by the ring.
+func (r Ring) Area() float64 {
+	return math.Abs(r.SignedArea())
+}
+
+// Perimeter returns the total edge length of the ring.
+func (r Ring) Perimeter() float64 {
+	var l float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		l += r[i].Dist(r[(i+1)%n])
+	}
+	return l
+}
+
+// Bounds returns the axis-aligned bounding rectangle of the ring.
+func (r Ring) Bounds() Rect {
+	if len(r) == 0 {
+		return Rect{}
+	}
+	b := Rect{Min: r[0], Max: r[0]}
+	for _, p := range r[1:] {
+		b.Min.X = math.Min(b.Min.X, p.X)
+		b.Min.Y = math.Min(b.Min.Y, p.Y)
+		b.Max.X = math.Max(b.Max.X, p.X)
+		b.Max.Y = math.Max(b.Max.Y, p.Y)
+	}
+	return b
+}
+
+// Contains reports whether p lies strictly inside the ring, using the
+// even-odd (ray crossing) rule. Points exactly on an edge are reported as
+// outside; deployments sample interior points so the boundary set has
+// measure zero for our purposes.
+func (r Ring) Contains(p Point) bool {
+	inside := false
+	n := len(r)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := r[i], r[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Dist returns the minimum distance from p to any edge of the ring.
+func (r Ring) Dist(p Point) float64 {
+	return math.Sqrt(r.Dist2(p))
+}
+
+// Dist2 returns the squared minimum distance from p to any edge of the ring.
+func (r Ring) Dist2(p Point) float64 {
+	best := math.Inf(1)
+	n := len(r)
+	for i := 0; i < n; i++ {
+		d := (Segment{A: r[i], B: r[(i+1)%n]}).Dist2(p)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ClosestPoint returns the point on the ring's edges nearest to p.
+func (r Ring) ClosestPoint(p Point) Point {
+	best := math.Inf(1)
+	var bp Point
+	n := len(r)
+	for i := 0; i < n; i++ {
+		c := (Segment{A: r[i], B: r[(i+1)%n]}).ClosestPoint(p)
+		if d := p.Dist2(c); d < best {
+			best = d
+			bp = c
+		}
+	}
+	return bp
+}
+
+// Reverse returns a copy of the ring with opposite orientation.
+func (r Ring) Reverse() Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[len(r)-1-i] = p
+	}
+	return out
+}
+
+// Translate returns a copy of the ring shifted by d.
+func (r Ring) Translate(d Point) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = p.Add(d)
+	}
+	return out
+}
+
+// Scale returns a copy of the ring scaled about the origin by s.
+func (r Ring) Scale(s float64) Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = p.Scale(s)
+	}
+	return out
+}
+
+// Polygon is a region bounded by one outer ring and zero or more hole rings.
+// Holes must lie strictly inside the outer ring and must not overlap each
+// other; the constructors in package shapes maintain this invariant.
+type Polygon struct {
+	Outer Ring
+	Holes []Ring
+}
+
+// NewPolygon validates and constructs a polygon.
+func NewPolygon(outer Ring, holes ...Ring) (*Polygon, error) {
+	if len(outer) < 3 {
+		return nil, ErrDegenerateRing
+	}
+	for _, h := range holes {
+		if len(h) < 3 {
+			return nil, ErrDegenerateRing
+		}
+	}
+	return &Polygon{Outer: outer, Holes: holes}, nil
+}
+
+// MustPolygon is like NewPolygon but panics on invalid input. It is intended
+// for statically known shape definitions.
+func MustPolygon(outer Ring, holes ...Ring) *Polygon {
+	p, err := NewPolygon(outer, holes...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Contains reports whether p lies inside the polygon (inside the outer ring
+// and outside every hole).
+func (pg *Polygon) Contains(p Point) bool {
+	if !pg.Outer.Contains(p) {
+		return false
+	}
+	for _, h := range pg.Holes {
+		if h.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the bounding rectangle of the outer ring.
+func (pg *Polygon) Bounds() Rect {
+	return pg.Outer.Bounds()
+}
+
+// Area returns the polygon area (outer area minus hole areas).
+func (pg *Polygon) Area() float64 {
+	a := pg.Outer.Area()
+	for _, h := range pg.Holes {
+		a -= h.Area()
+	}
+	return a
+}
+
+// NumHoles returns the number of holes, which equals the number of genuine
+// skeleton loops the extracted skeleton must carry to be homotopic to the
+// region.
+func (pg *Polygon) NumHoles() int {
+	return len(pg.Holes)
+}
+
+// BoundaryDist returns the distance from p to the nearest boundary edge
+// (outer ring or any hole ring). For interior points this is the Euclidean
+// distance transform value, i.e. the radius of the maximal disk centered at
+// p that fits inside the region.
+func (pg *Polygon) BoundaryDist(p Point) float64 {
+	best := pg.Outer.Dist2(p)
+	for _, h := range pg.Holes {
+		if d := h.Dist2(p); d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// NearestBoundaryPoint returns the closest point on any boundary ring to p.
+func (pg *Polygon) NearestBoundaryPoint(p Point) Point {
+	bp := pg.Outer.ClosestPoint(p)
+	best := p.Dist2(bp)
+	for _, h := range pg.Holes {
+		c := h.ClosestPoint(p)
+		if d := p.Dist2(c); d < best {
+			best = d
+			bp = c
+		}
+	}
+	return bp
+}
+
+// Rings returns all boundary rings, outer first.
+func (pg *Polygon) Rings() []Ring {
+	out := make([]Ring, 0, 1+len(pg.Holes))
+	out = append(out, pg.Outer)
+	out = append(out, pg.Holes...)
+	return out
+}

@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() Ring {
+	return Ring{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+}
+
+func TestRingArea(t *testing.T) {
+	sq := unitSquare()
+	if got := sq.SignedArea(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("ccw signed area = %v, want 1", got)
+	}
+	if got := sq.Reverse().SignedArea(); !almostEq(got, -1, 1e-12) {
+		t.Errorf("cw signed area = %v, want -1", got)
+	}
+	if got := sq.Area(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("area = %v", got)
+	}
+	if got := sq.Perimeter(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("perimeter = %v", got)
+	}
+	tri := Ring{Pt(0, 0), Pt(4, 0), Pt(0, 3)}
+	if got := tri.Area(); !almostEq(got, 6, 1e-12) {
+		t.Errorf("triangle area = %v, want 6", got)
+	}
+}
+
+func TestRingContains(t *testing.T) {
+	sq := unitSquare()
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0.5, 0.5), true},
+		{Pt(0.01, 0.99), true},
+		{Pt(-0.1, 0.5), false},
+		{Pt(1.1, 0.5), false},
+		{Pt(0.5, -0.01), false},
+		{Pt(2, 2), false},
+	}
+	for _, tt := range tests {
+		if got := sq.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Concave ring: an L shape.
+	l := Ring{Pt(0, 0), Pt(2, 0), Pt(2, 1), Pt(1, 1), Pt(1, 2), Pt(0, 2)}
+	if !l.Contains(Pt(0.5, 1.5)) {
+		t.Error("L should contain (0.5,1.5)")
+	}
+	if l.Contains(Pt(1.5, 1.5)) {
+		t.Error("L should not contain (1.5,1.5)")
+	}
+}
+
+func TestRingDistAndClosest(t *testing.T) {
+	sq := unitSquare()
+	if got := sq.Dist(Pt(0.5, 0.5)); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("center dist = %v, want 0.5", got)
+	}
+	if got := sq.Dist(Pt(2, 0.5)); !almostEq(got, 1, 1e-12) {
+		t.Errorf("outside dist = %v, want 1", got)
+	}
+	cp := sq.ClosestPoint(Pt(0.5, -3))
+	if cp.Dist(Pt(0.5, 0)) > 1e-12 {
+		t.Errorf("closest = %v, want (0.5,0)", cp)
+	}
+}
+
+func TestRingTransforms(t *testing.T) {
+	sq := unitSquare()
+	tr := sq.Translate(Pt(2, 3))
+	if tr[0] != Pt(2, 3) {
+		t.Errorf("translate = %v", tr[0])
+	}
+	if !almostEq(tr.Area(), sq.Area(), 1e-12) {
+		t.Error("translate changed area")
+	}
+	sc := sq.Scale(3)
+	if !almostEq(sc.Area(), 9, 1e-12) {
+		t.Errorf("scaled area = %v, want 9", sc.Area())
+	}
+}
+
+// TestRingScaleAreaProperty: scaling by s multiplies the area by s^2.
+func TestRingScaleAreaProperty(t *testing.T) {
+	f := func(s float64) bool {
+		s = math.Mod(math.Abs(s), 100) + 0.1
+		sq := unitSquare()
+		return almostEq(sq.Scale(s).Area(), s*s*sq.Area(), 1e-6*s*s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonValidation(t *testing.T) {
+	if _, err := NewPolygon(Ring{Pt(0, 0), Pt(1, 0)}); err != ErrDegenerateRing {
+		t.Errorf("short outer: err = %v", err)
+	}
+	if _, err := NewPolygon(unitSquare(), Ring{Pt(0, 0)}); err != ErrDegenerateRing {
+		t.Errorf("short hole: err = %v", err)
+	}
+	if _, err := NewPolygon(unitSquare()); err != nil {
+		t.Errorf("valid: err = %v", err)
+	}
+}
+
+func TestPolygonWithHole(t *testing.T) {
+	outer := Ring{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	hole := Ring{Pt(4, 4), Pt(6, 4), Pt(6, 6), Pt(4, 6)}
+	pg := MustPolygon(outer, hole)
+
+	if pg.NumHoles() != 1 {
+		t.Errorf("NumHoles = %d", pg.NumHoles())
+	}
+	if !almostEq(pg.Area(), 100-4, 1e-9) {
+		t.Errorf("Area = %v, want 96", pg.Area())
+	}
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(1, 1), true},
+		{Pt(5, 5), false}, // inside the hole
+		{Pt(11, 5), false},
+		{Pt(4.5, 1), true},
+	}
+	for _, tt := range tests {
+		if got := pg.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Boundary distance accounts for the hole edge.
+	if got := pg.BoundaryDist(Pt(3, 5)); !almostEq(got, 1, 1e-9) {
+		t.Errorf("BoundaryDist = %v, want 1 (hole edge)", got)
+	}
+	np := pg.NearestBoundaryPoint(Pt(3, 5))
+	if np.Dist(Pt(4, 5)) > 1e-9 {
+		t.Errorf("NearestBoundaryPoint = %v, want (4,5)", np)
+	}
+	if got := len(pg.Rings()); got != 2 {
+		t.Errorf("Rings = %d", got)
+	}
+}
+
+// TestContainsTranslationInvariance: containment is invariant under
+// translating both polygon and point.
+func TestContainsTranslationInvariance(t *testing.T) {
+	outer := Ring{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	hole := Ring{Pt(4, 4), Pt(6, 4), Pt(6, 6), Pt(4, 6)}
+	f := func(px, py, dx, dy float64) bool {
+		px = math.Mod(math.Abs(px), 12) - 1
+		py = math.Mod(math.Abs(py), 12) - 1
+		dx, dy = clampF(dx), clampF(dy)
+		pg := MustPolygon(outer, hole)
+		moved := MustPolygon(outer.Translate(Pt(dx, dy)), hole.Translate(Pt(dx, dy)))
+		return pg.Contains(Pt(px, py)) == moved.Contains(Pt(px+dx, py+dy))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	r := Ring{Pt(-1, 2), Pt(3, -4), Pt(0, 7)}
+	b := r.Bounds()
+	if b.Min != Pt(-1, -4) || b.Max != Pt(3, 7) {
+		t.Errorf("Bounds = %v", b)
+	}
+	var empty Ring
+	if got := empty.Bounds(); got != (Rect{}) {
+		t.Errorf("empty Bounds = %v", got)
+	}
+}

@@ -1,0 +1,354 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BFS returns hop distances from src to every node (Unreachable for nodes in
+// other components).
+func (g *Graph) BFS(src int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSPaths returns hop distances and a parent array (parent[src] == src,
+// Unreachable elsewhere when unvisited) for shortest-path reconstruction.
+func (g *Graph) BFSPaths(src int) (dist, parent []int32) {
+	dist = make([]int32, g.N())
+	parent = make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+		parent[i] = Unreachable
+	}
+	dist[src] = 0
+	parent[src] = int32(src)
+	queue := []int32{int32(src)}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// PathTo reconstructs the path from the BFS source to dst using a parent
+// array from BFSPaths. Returns nil if dst was unreachable.
+func PathTo(parent []int32, dst int) []int32 {
+	if parent[dst] == Unreachable {
+		return nil
+	}
+	var rev []int32
+	for v := int32(dst); ; v = parent[v] {
+		rev = append(rev, v)
+		if parent[v] == v {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BFSBlocked is BFS that never enters nodes with blocked[v] == true (the
+// source is always entered). It implements the paper's "limited flooding
+// without crossing the coarse skeleton" (Sec. III-D).
+func (g *Graph) BFSBlocked(src int, blocked []bool) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable && !blocked[v] {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// khopScratch holds reusable buffers for truncated BFS sweeps.
+type khopScratch struct {
+	stamp []int32
+	dist  []int32
+	queue []int32
+	epoch int32
+}
+
+func newKHopScratch(n int) *khopScratch {
+	return &khopScratch{
+		stamp: make([]int32, n),
+		dist:  make([]int32, n),
+		queue: make([]int32, 0, n),
+	}
+}
+
+// run performs BFS from src truncated at k hops and calls visit(node, dist)
+// for every reached node other than src.
+func (s *khopScratch) run(g *Graph, src, k int, visit func(v, d int32)) {
+	s.epoch++
+	s.stamp[src] = s.epoch
+	s.dist[src] = 0
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, int32(src))
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		du := s.dist[u]
+		if int(du) == k {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if s.stamp[v] != s.epoch {
+				s.stamp[v] = s.epoch
+				s.dist[v] = du + 1
+				s.queue = append(s.queue, v)
+				if visit != nil {
+					visit(v, du+1)
+				}
+			}
+		}
+	}
+}
+
+// KHopNeighbors returns the nodes at hop distance 1..k from src.
+func (g *Graph) KHopNeighbors(src, k int) []int32 {
+	s := newKHopScratch(g.N())
+	var out []int32
+	s.run(g, src, k, func(v, _ int32) { out = append(out, v) })
+	return out
+}
+
+// KHopCount returns |N_k(src)|, the k-hop neighborhood size of src
+// excluding src itself.
+func (g *Graph) KHopCount(src, k int) int {
+	s := newKHopScratch(g.N())
+	n := 0
+	s.run(g, src, k, func(_, _ int32) { n++ })
+	return n
+}
+
+// AllKHopCounts computes |N_k(v)| for every node, in parallel. This is the
+// centralized analogue of the paper's first round of controlled flooding
+// (Sec. III-A).
+func (g *Graph) AllKHopCounts(k int) []int {
+	n := g.N()
+	out := make([]int, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := newKHopScratch(n)
+			for v := lo; v < hi; v++ {
+				c := 0
+				s.run(g, v, k, func(_, _ int32) { c++ })
+				out[v] = c
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// AllBallSizes computes, for every node v and every radius r in 1..k, the
+// cumulative ball size |N_r(v)| (excluding v), in parallel. The result is
+// indexed sizes[v][r-1]. It backs the saturation guard: when balls approach
+// the network size, neighborhood counts stop being informative.
+func (g *Graph) AllBallSizes(k int) [][]int {
+	n := g.N()
+	out := make([][]int, n)
+	flat := make([]int, n*k)
+	for v := range out {
+		out[v] = flat[v*k : (v+1)*k : (v+1)*k]
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := newKHopScratch(n)
+			for v := lo; v < hi; v++ {
+				counts := out[v]
+				s.run(g, v, k, func(_, d int32) { counts[d-1]++ })
+				for r := 1; r < k; r++ {
+					counts[r] += counts[r-1]
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Components labels connected components; it returns the label of each node
+// and the component count. Labels are assigned in increasing order of the
+// smallest node ID in the component.
+func (g *Graph) Components() (label []int, count int) {
+	label = make([]int, g.N())
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	for v := 0; v < g.N(); v++ {
+		if label[v] != -1 {
+			continue
+		}
+		label[v] = count
+		queue = queue[:0]
+		queue = append(queue, int32(v))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range g.adj[u] {
+				if label[w] == -1 {
+					label[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// LargestComponent returns the node set of the largest connected component,
+// sorted by node ID.
+func (g *Graph) LargestComponent() []int32 {
+	label, count := g.Components()
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range label {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]int32, 0, sizes[best])
+	for v, l := range label {
+		if l == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// IsConnected reports whether the graph is a single connected component.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	_, count := g.Components()
+	return count == 1
+}
+
+// Subgraph returns the induced subgraph over keep (node IDs in the original
+// graph) plus the mapping back to original IDs. Node i of the subgraph is
+// keep[i].
+func (g *Graph) Subgraph(keep []int32) (*Graph, []int32) {
+	index := make(map[int32]int, len(keep))
+	for i, v := range keep {
+		index[v] = i
+	}
+	sub := New(len(keep))
+	for i, v := range keep {
+		for _, w := range g.adj[v] {
+			j, ok := index[w]
+			if ok && j > i {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	sub.SortAdjacency()
+	orig := make([]int32, len(keep))
+	copy(orig, keep)
+	return sub, orig
+}
+
+// Eccentricity returns the maximum finite hop distance from src.
+func (g *Graph) Eccentricity(src int) int {
+	dist := g.BFS(src)
+	max := 0
+	for _, d := range dist {
+		if d != Unreachable && int(d) > max {
+			max = int(d)
+		}
+	}
+	return max
+}
+
+// DiameterLowerBound estimates the hop diameter with a double BFS sweep.
+func (g *Graph) DiameterLowerBound(src int) int {
+	dist := g.BFS(src)
+	far := src
+	for v, d := range dist {
+		if d != Unreachable && int(d) > int(dist[far]) {
+			far = v
+		}
+	}
+	return g.Eccentricity(far)
+}

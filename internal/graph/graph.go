@@ -1,0 +1,191 @@
+// Package graph provides the connectivity-graph substrate: a compact
+// undirected adjacency structure plus the breadth-first primitives the
+// skeleton pipeline is built from (full, truncated, multi-source and
+// obstacle-avoiding BFS).
+//
+// Nodes are dense integer IDs 0..N-1. Hop distances use int32; -1 means
+// unreachable.
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"bfskel/internal/geom"
+	"bfskel/internal/radio"
+)
+
+// Unreachable marks nodes a BFS did not reach.
+const Unreachable int32 = -1
+
+// Graph is an undirected graph over nodes 0..N-1.
+type Graph struct {
+	adj   [][]int32
+	edges int
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
+// must be avoided by the caller (Build guarantees this).
+func (g *Graph) AddEdge(u, v int) {
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.edges++
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// AvgDegree returns the average node degree 2E/N.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// HasEdge reports whether u and v are adjacent. O(deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SortAdjacency sorts every adjacency list; Build calls it so iteration
+// order (and thus every downstream tie-break) is deterministic.
+func (g *Graph) SortAdjacency() {
+	for _, nbrs := range g.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+}
+
+// Build constructs the connectivity graph for the given node positions under
+// a radio model. Probabilistic links are drawn once per unordered pair with
+// the pair-seeded deterministic coin, so the same (positions, model, seed)
+// always produces the same graph. A uniform spatial hash keeps the pair scan
+// near-linear for bounded-range models.
+func Build(pts []geom.Point, m radio.Model, seed int64) *Graph {
+	g := New(len(pts))
+	if len(pts) == 0 {
+		return g
+	}
+	maxR := m.MaxRange()
+	if maxR <= 0 {
+		return g
+	}
+	cells := newCellIndex(pts, maxR)
+	maxR2 := maxR * maxR
+	for i := range pts {
+		cells.forNeighborCandidates(i, func(j int) {
+			if j <= i {
+				return // each unordered pair once
+			}
+			d2 := pts[i].Dist2(pts[j])
+			if d2 > maxR2 {
+				return
+			}
+			p := m.LinkProb(math.Sqrt(d2))
+			if p <= 0 {
+				return
+			}
+			if p >= 1 || pairCoin(seed, i, j) < p {
+				g.AddEdge(i, j)
+			}
+		})
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// pairCoin returns a deterministic uniform [0,1) value for the unordered
+// pair (i, j) under the given seed, via a splitmix64-style mix.
+func pairCoin(seed int64, i, j int) float64 {
+	x := uint64(seed)<<1 ^ 0x9e3779b97f4a7c15
+	x ^= uint64(i)*0xbf58476d1ce4e5b9 + uint64(j)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// cellIndex is a uniform-grid bucketing of points used by Build.
+type cellIndex struct {
+	pts    []geom.Point
+	cell   float64
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	bucket map[int][]int
+}
+
+func newCellIndex(pts []geom.Point, cell float64) *cellIndex {
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts[1:] {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	ci := &cellIndex{
+		pts:    pts,
+		cell:   cell,
+		minX:   minX,
+		minY:   minY,
+		cols:   int((maxX-minX)/cell) + 1,
+		rows:   int((maxY-minY)/cell) + 1,
+		bucket: make(map[int][]int, len(pts)),
+	}
+	for i, p := range pts {
+		k := ci.key(p)
+		ci.bucket[k] = append(ci.bucket[k], i)
+	}
+	return ci
+}
+
+func (ci *cellIndex) key(p geom.Point) int {
+	cx := int((p.X - ci.minX) / ci.cell)
+	cy := int((p.Y - ci.minY) / ci.cell)
+	return cy*ci.cols + cx
+}
+
+// forNeighborCandidates calls fn for every point in the 3x3 cell block
+// around point i.
+func (ci *cellIndex) forNeighborCandidates(i int, fn func(j int)) {
+	p := ci.pts[i]
+	cx := int((p.X - ci.minX) / ci.cell)
+	cy := int((p.Y - ci.minY) / ci.cell)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 0 || y < 0 || x >= ci.cols || y >= ci.rows {
+				continue
+			}
+			for _, j := range ci.bucket[y*ci.cols+x] {
+				if j != i {
+					fn(j)
+				}
+			}
+		}
+	}
+}

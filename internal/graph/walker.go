@@ -1,0 +1,28 @@
+package graph
+
+// Walker performs repeated truncated BFS sweeps over one graph while
+// reusing its internal buffers, so per-sweep cost is proportional to the
+// visited neighborhood only. A Walker is not safe for concurrent use; create
+// one per goroutine.
+type Walker struct {
+	g *Graph
+	s *khopScratch
+}
+
+// NewWalker creates a walker for g.
+func NewWalker(g *Graph) *Walker {
+	return &Walker{g: g, s: newKHopScratch(g.N())}
+}
+
+// Walk runs BFS from src truncated at k hops, calling visit(v, d) for every
+// node reached at hop distance d in 1..k. src itself is not visited.
+func (w *Walker) Walk(src, k int, visit func(v, d int32)) {
+	w.s.run(w.g, src, k, visit)
+}
+
+// Count returns |N_k(src)| using the walker's buffers.
+func (w *Walker) Count(src, k int) int {
+	n := 0
+	w.s.run(w.g, src, k, func(_, _ int32) { n++ })
+	return n
+}

@@ -1,0 +1,82 @@
+package mapax
+
+import (
+	"testing"
+
+	"bfskel/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestSeparationAtLeast(t *testing.T) {
+	g := pathGraph(10)
+	s := newSeparation(g)
+	// dist(0,5) = 5.
+	if !s.atLeast(0, 5, 5) {
+		t.Error("5 >= 5 failed")
+	}
+	if s.atLeast(0, 5, 6) {
+		t.Error("5 >= 6 succeeded")
+	}
+	if !s.atLeast(0, 5, 3) {
+		t.Error("5 >= 3 failed")
+	}
+	if !s.atLeast(3, 3, 0) || s.atLeast(3, 3, 1) {
+		t.Error("self distance handling")
+	}
+}
+
+// TestSeparationMemoUpgrade: a weak cached bound ("> cap") must be
+// recomputed when a later query needs a larger threshold.
+func TestSeparationMemoUpgrade(t *testing.T) {
+	g := pathGraph(20)
+	s := newSeparation(g)
+	// First query with a small want caches "> 3".
+	if !s.atLeast(0, 10, 3) {
+		t.Fatal("10 >= 3 failed")
+	}
+	// Now a query needing exactness beyond the cached cap.
+	if s.atLeast(0, 10, 11) {
+		t.Error("10 >= 11 succeeded after weak cache")
+	}
+	if !s.atLeast(0, 10, 10) {
+		t.Error("10 >= 10 failed after recompute")
+	}
+	// Symmetric key: (10,0) hits the same cache entry.
+	if !s.atLeast(10, 0, 10) {
+		t.Error("symmetric lookup failed")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.TieSlack != 1 || o.SeparationFactor != 2 || o.MinSeparation != 6 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestMedialAtDifferentCycles(t *testing.T) {
+	sep := newSeparation(pathGraph(4))
+	cycleOf := map[int32]int{0: 0, 3: 1}
+	recs := []graph.SourceRecord{{Source: 0, D: 2}, {Source: 3, D: 2}}
+	if !medialAt(recs, 2, cycleOf, sep, Options{}.withDefaults()) {
+		t.Error("different-cycle pair not medial")
+	}
+	// Same cycle, close together: not medial.
+	cycleOf[3] = 0
+	if medialAt(recs, 2, cycleOf, sep, Options{}.withDefaults()) {
+		t.Error("close same-cycle pair declared medial")
+	}
+	// Sources missing from any cycle are ignored.
+	if medialAt([]graph.SourceRecord{{Source: 9, D: 1}, {Source: 8, D: 1}}, 1,
+		cycleOf, sep, Options{}.withDefaults()) {
+		t.Error("unknown sources declared medial")
+	}
+}

@@ -1,0 +1,203 @@
+// Package mapax implements the MAP baseline (Bruck, Gao, Jiang: "MAP:
+// Medial axis based geometric routing in sensor networks") to the fidelity
+// the paper's comparison requires: given identified boundary nodes, MAP
+// computes the hop distance transform, declares nodes equidistant to two
+// well-separated boundary nodes as medial nodes, and connects them into a
+// medial axis. Its defining weakness — sensitivity to boundary noise, where
+// a small bump grows a long spurious branch — emerges naturally from this
+// construction and is what experiment E10 measures.
+package mapax
+
+import (
+	"bfskel/internal/boundary"
+	"bfskel/internal/core"
+	"bfskel/internal/graph"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// TieSlack is the distance slack for recording several nearest
+	// boundary nodes (default 1).
+	TieSlack int32
+	// SeparationFactor scales the stability test: two nearest boundary
+	// nodes on the same cycle count as distinct only if their separation
+	// along the cycle exceeds SeparationFactor x the node's boundary
+	// distance (default 2).
+	SeparationFactor float64
+	// MinSeparation is the absolute minimum separation in hops
+	// (default 6; below it, tie-set spread near the boundary band passes
+	// the test spuriously).
+	MinSeparation int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TieSlack <= 0 {
+		o.TieSlack = 1
+	}
+	if o.SeparationFactor <= 0 {
+		o.SeparationFactor = 2
+	}
+	if o.MinSeparation <= 0 {
+		o.MinSeparation = 6
+	}
+	return o
+}
+
+// Result is the extracted medial axis.
+type Result struct {
+	// DistToBoundary is the hop distance transform.
+	DistToBoundary []int32
+	// MedialNodes are the nodes that passed the medial test, sorted.
+	MedialNodes []int32
+	// Skeleton is the connected medial-axis structure.
+	Skeleton *core.Skeleton
+}
+
+// Extract runs the MAP baseline on a graph with known boundary.
+func Extract(g *graph.Graph, b *boundary.Result, opts Options) *Result {
+	opts = opts.withDefaults()
+	dmin, records := g.MultiSourceRecords(b.Nodes, opts.TieSlack)
+
+	cycleOf := make(map[int32]int, len(b.Nodes))
+	for ci, cycle := range b.Cycles {
+		for _, v := range cycle {
+			cycleOf[v] = ci
+		}
+	}
+
+	res := &Result{DistToBoundary: dmin, Skeleton: core.NewSkeleton(g.N())}
+	sep := newSeparation(g)
+	isMedial := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if b.IsBoundary[v] || dmin[v] == graph.Unreachable {
+			continue
+		}
+		if medialAt(records[v], dmin[v], cycleOf, sep, opts) {
+			isMedial[v] = true
+			res.MedialNodes = append(res.MedialNodes, int32(v))
+		}
+	}
+
+	connectMedial(g, isMedial, res.Skeleton)
+	return res
+}
+
+// medialAt applies MAP's medial-node test: two recorded nearest boundary
+// nodes on different boundary cycles, or far apart in hop distance along
+// the network (the stability condition that suppresses boundary noise — up
+// to the separation threshold, which is exactly where MAP's noise
+// sensitivity lives).
+func medialAt(recs []graph.SourceRecord, dist int32,
+	cycleOf map[int32]int, sep *separation, opts Options) bool {
+
+	minSep := int32(opts.SeparationFactor * float64(dist))
+	if minSep < int32(opts.MinSeparation) {
+		minSep = int32(opts.MinSeparation)
+	}
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			ci, oki := cycleOf[recs[i].Source]
+			cj, okj := cycleOf[recs[j].Source]
+			if !oki || !okj {
+				continue
+			}
+			if ci != cj {
+				return true
+			}
+			if sep.atLeast(recs[i].Source, recs[j].Source, minSep) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// separation memoizes capped pairwise hop distances between boundary nodes.
+type separation struct {
+	g    *graph.Graph
+	dist map[[2]int32]int32 // exact distance, or cap+1 meaning "> cap"
+	cap  map[[2]int32]int32
+}
+
+func newSeparation(g *graph.Graph) *separation {
+	return &separation{
+		g:    g,
+		dist: make(map[[2]int32]int32),
+		cap:  make(map[[2]int32]int32),
+	}
+}
+
+// atLeast reports whether the hop distance between a and b is >= want.
+func (s *separation) atLeast(a, b, want int32) bool {
+	if a == b {
+		return want <= 0
+	}
+	key := [2]int32{a, b}
+	if a > b {
+		key = [2]int32{b, a}
+	}
+	if d, ok := s.dist[key]; ok {
+		if d <= s.cap[key] {
+			return d >= want // exact
+		}
+		if s.cap[key] >= want {
+			return true // "> cap >= want"
+		}
+		// The cached bound is too weak; recompute below.
+	}
+	d := s.hopDistCapped(key[0], key[1], want)
+	s.dist[key] = d
+	s.cap[key] = want
+	return d >= want
+}
+
+// hopDistCapped returns the hop distance, or cap+1 when it exceeds cap.
+func (s *separation) hopDistCapped(a, b, cap int32) int32 {
+	dist := map[int32]int32{a: 0}
+	queue := []int32{a}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		if du >= cap {
+			continue
+		}
+		for _, v := range s.g.Neighbors(int(u)) {
+			if _, seen := dist[v]; seen {
+				continue
+			}
+			if v == b {
+				return du + 1
+			}
+			dist[v] = du + 1
+			queue = append(queue, v)
+		}
+	}
+	return cap + 1
+}
+
+// connectMedial links medial nodes that are mutual 1- or 2-hop neighbors,
+// inserting the bridging node for 2-hop links, which yields MAP's connected
+// medial-axis representation.
+func connectMedial(g *graph.Graph, isMedial []bool, skel *core.Skeleton) {
+	for v := 0; v < g.N(); v++ {
+		if !isMedial[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if isMedial[u] && int32(v) < u {
+				skel.AddPath([]int32{int32(v), u})
+			}
+		}
+		// 2-hop bridges, only when no direct medial link exists.
+		for _, w := range g.Neighbors(v) {
+			if isMedial[w] {
+				continue
+			}
+			for _, u := range g.Neighbors(int(w)) {
+				if isMedial[u] && int32(v) < u && !g.HasEdge(v, int(u)) {
+					skel.AddPath([]int32{int32(v), w, u})
+				}
+			}
+		}
+	}
+}

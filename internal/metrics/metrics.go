@@ -1,0 +1,224 @@
+// Package metrics quantifies skeleton quality against the geometric ground
+// truth. The paper argues quality visually; these metrics turn the visual
+// claims — medial placement, homotopy preservation, stability across
+// densities and radio models — into numbers the experiment harness can
+// report and the tests can assert on.
+package metrics
+
+import (
+	"math"
+
+	"bfskel/internal/core"
+	"bfskel/internal/geom"
+)
+
+// SkeletonReport summarises one extracted skeleton against ground truth.
+type SkeletonReport struct {
+	// Nodes and Edges of the skeleton; Components its connectivity.
+	Nodes, Edges, Components int
+	// CycleRank is the number of independent skeleton loops; Holes the
+	// field's hole count. HomotopyOK reports CycleRank == Holes and
+	// Components == 1.
+	CycleRank  int
+	Holes      int
+	HomotopyOK bool
+	// MeanClearance is the average geometric boundary distance of skeleton
+	// nodes; NetworkClearance the same over all nodes. Their ratio is the
+	// medial-placement signal (>1 means the skeleton sits inward).
+	MeanClearance    float64
+	NetworkClearance float64
+	// MeanDistToMedial and HausdorffToMedial measure how far skeleton
+	// nodes stray from the continuous medial axis, in field units.
+	MeanDistToMedial  float64
+	HausdorffToMedial float64
+	// MedialCoverage is the fraction of medial-axis samples within
+	// CoverageRadius of some skeleton node.
+	MedialCoverage float64
+	// CoverageRadius is the radius used for MedialCoverage.
+	CoverageRadius float64
+}
+
+// EvaluateSkeleton builds a report for a skeleton over a deployed network.
+// medial is the precomputed ground-truth axis (see geom.MedialAxis);
+// coverageRadius is typically 2-3 radio ranges.
+func EvaluateSkeleton(poly *geom.Polygon, pts []geom.Point, skel *core.Skeleton,
+	medial []geom.MedialPoint, coverageRadius float64) SkeletonReport {
+
+	rep := SkeletonReport{
+		Nodes:          skel.NumNodes(),
+		Edges:          skel.NumEdges(),
+		Components:     skel.Components(),
+		CycleRank:      skel.CycleRank(),
+		Holes:          poly.NumHoles(),
+		CoverageRadius: coverageRadius,
+	}
+	rep.HomotopyOK = rep.CycleRank == rep.Holes && rep.Components == 1
+
+	rep.NetworkClearance = meanClearance(poly, pts, nil)
+	nodes := skel.Nodes()
+	rep.MeanClearance = meanClearance(poly, pts, nodes)
+
+	if len(medial) > 0 && len(nodes) > 0 {
+		rep.MeanDistToMedial, rep.HausdorffToMedial = distToMedial(pts, nodes, medial)
+		rep.MedialCoverage = medialCoverage(pts, nodes, medial, coverageRadius)
+	}
+	return rep
+}
+
+// meanClearance averages the geometric boundary distance over the listed
+// nodes (all nodes when the list is nil).
+func meanClearance(poly *geom.Polygon, pts []geom.Point, nodes []int32) float64 {
+	if nodes == nil {
+		var sum float64
+		for _, p := range pts {
+			sum += poly.BoundaryDist(p)
+		}
+		if len(pts) == 0 {
+			return 0
+		}
+		return sum / float64(len(pts))
+	}
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range nodes {
+		sum += poly.BoundaryDist(pts[v])
+	}
+	return sum / float64(len(nodes))
+}
+
+// distToMedial returns the mean and maximum distance from skeleton nodes to
+// the nearest medial-axis sample.
+func distToMedial(pts []geom.Point, nodes []int32, medial []geom.MedialPoint) (mean, max float64) {
+	for _, v := range nodes {
+		best := math.Inf(1)
+		for _, m := range medial {
+			if d := pts[v].Dist2(m.P); d < best {
+				best = d
+			}
+		}
+		d := math.Sqrt(best)
+		mean += d
+		if d > max {
+			max = d
+		}
+	}
+	mean /= float64(len(nodes))
+	return mean, max
+}
+
+// medialCoverage returns the fraction of medial samples with a skeleton
+// node within radius.
+func medialCoverage(pts []geom.Point, nodes []int32, medial []geom.MedialPoint, radius float64) float64 {
+	r2 := radius * radius
+	covered := 0
+	for _, m := range medial {
+		for _, v := range nodes {
+			if pts[v].Dist2(m.P) <= r2 {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(medial))
+}
+
+// Stability measures how much two skeletons of the same field differ: the
+// symmetric mean nearest-neighbor distance between their node sets, in
+// field units. Low values across densities and radio models back the
+// paper's Figs. 5-7 stability claims.
+func Stability(ptsA []geom.Point, a *core.Skeleton, ptsB []geom.Point, b *core.Skeleton) float64 {
+	na, nb := a.Nodes(), b.Nodes()
+	if len(na) == 0 || len(nb) == 0 {
+		return math.Inf(1)
+	}
+	return (meanNearest(ptsA, na, ptsB, nb) + meanNearest(ptsB, nb, ptsA, na)) / 2
+}
+
+// meanNearest averages, over nodes of set A, the distance to the nearest
+// node of set B.
+func meanNearest(ptsA []geom.Point, a []int32, ptsB []geom.Point, b []int32) float64 {
+	var sum float64
+	for _, v := range a {
+		best := math.Inf(1)
+		for _, u := range b {
+			if d := ptsA[v].Dist2(ptsB[u]); d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum / float64(len(a))
+}
+
+// BoundaryPR scores a detected boundary node set against the geometric
+// truth: precision counts detected nodes within the band of the true
+// boundary, recall counts band nodes that were detected.
+func BoundaryPR(poly *geom.Polygon, pts []geom.Point, detected []int32, band float64) (precision, recall float64) {
+	isDetected := make(map[int32]bool, len(detected))
+	for _, v := range detected {
+		isDetected[v] = true
+	}
+	var inBand, caught, hits int
+	for v := range pts {
+		near := poly.BoundaryDist(pts[v]) <= band
+		if near {
+			inBand++
+			if isDetected[int32(v)] {
+				caught++
+			}
+		}
+		if isDetected[int32(v)] && near {
+			hits++
+		}
+	}
+	if len(detected) > 0 {
+		precision = float64(hits) / float64(len(detected))
+	}
+	if inBand > 0 {
+		recall = float64(caught) / float64(inBand)
+	}
+	return precision, recall
+}
+
+// SegmentationReport summarises the Voronoi-cell by-product.
+type SegmentationReport struct {
+	// Cells is the number of non-empty cells.
+	Cells int
+	// MeanSize and MaxSize describe the cell size distribution.
+	MeanSize float64
+	MaxSize  int
+	// Balance is MeanSize/MaxSize in (0,1]; higher is more even.
+	Balance float64
+	// Assigned is the fraction of nodes belonging to some cell.
+	Assigned float64
+}
+
+// EvaluateSegmentation scores the cell decomposition.
+func EvaluateSegmentation(cellOf []int32) SegmentationReport {
+	sizes := make(map[int32]int)
+	assigned := 0
+	for _, c := range cellOf {
+		if c >= 0 {
+			sizes[c]++
+			assigned++
+		}
+	}
+	rep := SegmentationReport{Cells: len(sizes)}
+	if len(cellOf) > 0 {
+		rep.Assigned = float64(assigned) / float64(len(cellOf))
+	}
+	if len(sizes) == 0 {
+		return rep
+	}
+	for _, s := range sizes {
+		rep.MeanSize += float64(s)
+		if s > rep.MaxSize {
+			rep.MaxSize = s
+		}
+	}
+	rep.MeanSize /= float64(len(sizes))
+	rep.Balance = rep.MeanSize / float64(rep.MaxSize)
+	return rep
+}

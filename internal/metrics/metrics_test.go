@@ -1,0 +1,128 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"bfskel/internal/core"
+	"bfskel/internal/geom"
+	"bfskel/internal/metrics"
+)
+
+func rectPoly(w, h float64) *geom.Polygon {
+	return geom.MustPolygon(geom.Ring{
+		geom.Pt(0, 0), geom.Pt(w, 0), geom.Pt(w, h), geom.Pt(0, h),
+	})
+}
+
+func TestEvaluateSkeletonBasics(t *testing.T) {
+	poly := rectPoly(40, 10)
+	// Nodes: a medial row at y=5 and boundary-ish rows.
+	var pts []geom.Point
+	var medialIDs []int32
+	for x := 2.0; x <= 38; x += 2 {
+		pts = append(pts, geom.Pt(x, 5))
+		medialIDs = append(medialIDs, int32(len(pts)-1))
+		pts = append(pts, geom.Pt(x, 1), geom.Pt(x, 9))
+	}
+	skel := core.NewSkeleton(len(pts))
+	skel.AddPath(medialIDs)
+
+	medial := geom.MedialAxis(poly, geom.MedialAxisOptions{GridStep: 0.5})
+	rep := metrics.EvaluateSkeleton(poly, pts, skel, medial, 3)
+
+	if rep.Nodes != len(medialIDs) {
+		t.Errorf("Nodes = %d", rep.Nodes)
+	}
+	if rep.CycleRank != 0 || rep.Holes != 0 || !rep.HomotopyOK {
+		t.Errorf("homotopy fields: %+v", rep)
+	}
+	if rep.MeanClearance <= rep.NetworkClearance {
+		t.Errorf("medial row clearance %v not above network %v", rep.MeanClearance, rep.NetworkClearance)
+	}
+	if rep.MeanDistToMedial > 1 {
+		t.Errorf("MeanDistToMedial = %v for exact medial nodes", rep.MeanDistToMedial)
+	}
+	if rep.MedialCoverage < 0.85 {
+		t.Errorf("coverage = %v", rep.MedialCoverage)
+	}
+}
+
+func TestEvaluateSkeletonDisconnected(t *testing.T) {
+	poly := rectPoly(10, 10)
+	pts := []geom.Point{geom.Pt(2, 5), geom.Pt(8, 5), geom.Pt(5, 5)}
+	skel := core.NewSkeleton(3)
+	skel.AddPath([]int32{0})
+	skel.AddPath([]int32{1})
+	rep := metrics.EvaluateSkeleton(poly, pts, skel, nil, 2)
+	if rep.HomotopyOK {
+		t.Error("two components should fail homotopy")
+	}
+}
+
+func TestStability(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	a := core.NewSkeleton(3)
+	a.AddPath([]int32{0, 1, 2})
+	// Identical skeletons: stability 0.
+	if got := metrics.Stability(pts, a, pts, a); got != 0 {
+		t.Errorf("self stability = %v", got)
+	}
+	// Shifted copy.
+	shifted := []geom.Point{geom.Pt(0, 3), geom.Pt(1, 3), geom.Pt(2, 3)}
+	if got := metrics.Stability(pts, a, shifted, a); math.Abs(got-3) > 1e-9 {
+		t.Errorf("shifted stability = %v, want 3", got)
+	}
+	// Empty skeleton: infinite.
+	empty := core.NewSkeleton(3)
+	if got := metrics.Stability(pts, a, pts, empty); !math.IsInf(got, 1) {
+		t.Errorf("empty stability = %v", got)
+	}
+}
+
+func TestBoundaryPR(t *testing.T) {
+	poly := rectPoly(20, 20)
+	pts := []geom.Point{
+		geom.Pt(0.5, 10), // in band
+		geom.Pt(10, 10),  // interior
+		geom.Pt(19.5, 3), // in band
+		geom.Pt(10, 0.5), // in band
+	}
+	// Detect nodes 0 and 1: one hit, one false positive.
+	p, r := metrics.BoundaryPR(poly, pts, []int32{0, 1}, 1)
+	if p != 0.5 {
+		t.Errorf("precision = %v", p)
+	}
+	if math.Abs(r-1.0/3) > 1e-9 {
+		t.Errorf("recall = %v", r)
+	}
+	// Empty detection.
+	p, r = metrics.BoundaryPR(poly, pts, nil, 1)
+	if p != 0 || r != 0 {
+		t.Errorf("empty detection: %v, %v", p, r)
+	}
+}
+
+func TestEvaluateSegmentation(t *testing.T) {
+	cellOf := []int32{0, 0, 0, 1, 1, -1, 2, 2, 2, 2}
+	rep := metrics.EvaluateSegmentation(cellOf)
+	if rep.Cells != 3 {
+		t.Errorf("Cells = %d", rep.Cells)
+	}
+	if rep.MaxSize != 4 {
+		t.Errorf("MaxSize = %d", rep.MaxSize)
+	}
+	if math.Abs(rep.MeanSize-3) > 1e-9 {
+		t.Errorf("MeanSize = %v", rep.MeanSize)
+	}
+	if math.Abs(rep.Balance-0.75) > 1e-9 {
+		t.Errorf("Balance = %v", rep.Balance)
+	}
+	if math.Abs(rep.Assigned-0.9) > 1e-9 {
+		t.Errorf("Assigned = %v", rep.Assigned)
+	}
+	empty := metrics.EvaluateSegmentation(nil)
+	if empty.Cells != 0 || empty.Assigned != 0 {
+		t.Errorf("empty segmentation: %+v", empty)
+	}
+}

@@ -1,0 +1,104 @@
+package protocol
+
+import (
+	"bfskel/internal/graph"
+	"bfskel/internal/simnet"
+)
+
+// sizeEntry carries one node's K-hop neighborhood size with the hop counter
+// it has traveled.
+type sizeEntry struct {
+	ID   int32
+	Size int32
+	Hops int32
+}
+
+// sizeBatch is one transmission's set of newly learned sizes.
+type sizeBatch struct {
+	Entries []sizeEntry
+}
+
+// centralityProgram is the second round of controlled flooding (paper
+// Sec. III-A): each node broadcasts its K-hop neighborhood size within its
+// L-hop neighbors, then computes its L-centrality and index. Hop counters
+// travel in the payload with minimum-hop re-forwarding, so the phase is
+// exact under message jitter.
+type centralityProgram struct {
+	l     int32
+	own   sizeEntry
+	sizes map[int32]int32 // ID -> K-hop size
+	hops  map[int32]int32 // ID -> smallest hop counter heard
+	fresh []sizeEntry
+}
+
+var _ simnet.Program = (*centralityProgram)(nil)
+
+func (p *centralityProgram) Init(ctx *simnet.Context) {
+	p.sizes = map[int32]int32{p.own.ID: p.own.Size}
+	p.hops = map[int32]int32{p.own.ID: 0}
+	ctx.Broadcast(sizeBatch{Entries: []sizeEntry{{ID: p.own.ID, Size: p.own.Size, Hops: 1}}})
+}
+
+func (p *centralityProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
+	p.fresh = p.fresh[:0]
+	for _, env := range inbox {
+		batch, ok := env.Payload.(sizeBatch)
+		if !ok {
+			continue
+		}
+		for _, e := range batch.Entries {
+			if prev, seen := p.hops[e.ID]; seen && prev <= e.Hops {
+				continue
+			}
+			p.hops[e.ID] = e.Hops
+			p.sizes[e.ID] = e.Size
+			if e.Hops < p.l {
+				p.fresh = append(p.fresh, sizeEntry{ID: e.ID, Size: e.Size, Hops: e.Hops + 1})
+			}
+		}
+	}
+	if len(p.fresh) > 0 {
+		entries := make([]sizeEntry, len(p.fresh))
+		copy(entries, p.fresh)
+		ctx.Broadcast(sizeBatch{Entries: entries})
+	}
+}
+
+// centrality returns c_L(p): the average K-hop size over the learned L-hop
+// neighborhood including the node itself (matching core.indexField).
+func (p *centralityProgram) centrality() float64 {
+	var sum int64
+	for _, s := range p.sizes {
+		sum += int64(s)
+	}
+	return float64(sum) / float64(len(p.sizes))
+}
+
+// runCentrality executes the centrality phase and derives the index.
+func runCentrality(g *graph.Graph, l int, khop []int, jitter int, seed int64) (cent, index []float64, stats simnet.Stats, err error) {
+	programs := make([]simnet.Program, g.N())
+	nodes := make([]*centralityProgram, g.N())
+	for v := range programs {
+		nodes[v] = &centralityProgram{
+			l:   int32(l),
+			own: sizeEntry{ID: int32(v), Size: int32(khop[v])},
+		}
+		programs[v] = nodes[v]
+	}
+	sim, err := simnet.New(g, programs)
+	if err != nil {
+		return nil, nil, simnet.Stats{}, err
+	}
+	sim.Jitter, sim.JitterSeed = jitter, seed
+	stats, err = sim.Run()
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	cent = make([]float64, g.N())
+	index = make([]float64, g.N())
+	for v, p := range nodes {
+		cent[v] = p.centrality()
+		index[v] = (float64(khop[v]) + cent[v]) / 2
+	}
+	return cent, index, stats, nil
+}

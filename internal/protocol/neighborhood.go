@@ -1,0 +1,93 @@
+package protocol
+
+import (
+	"bfskel/internal/graph"
+	"bfskel/internal/simnet"
+)
+
+// idHop is one flooded node identity with the hop count it has traveled —
+// the "counter" of the paper's controlled-flooding description. Carrying
+// the counter in the payload (rather than inferring distance from delivery
+// rounds) keeps the protocol correct when message timing is not uniform.
+type idHop struct {
+	ID   int32
+	Hops int32
+}
+
+// idBatch is one transmission's set of newly learned identities.
+type idBatch struct {
+	Entries []idHop
+}
+
+// neighborhoodProgram learns the node's K-hop neighborhood by controlled
+// flooding (paper Sec. III-A, first round of flooding): each entry carries
+// its hop counter; a node records unknown IDs and re-forwards them while
+// the counter is below K, batching everything learned in one step into a
+// single transmission.
+type neighborhoodProgram struct {
+	k     int32
+	known map[int32]int32 // ID -> smallest hop counter heard
+	fresh []idHop
+}
+
+var _ simnet.Program = (*neighborhoodProgram)(nil)
+
+func (p *neighborhoodProgram) Init(ctx *simnet.Context) {
+	p.known = map[int32]int32{int32(ctx.ID()): 0}
+	ctx.Broadcast(idBatch{Entries: []idHop{{ID: int32(ctx.ID()), Hops: 1}}})
+}
+
+func (p *neighborhoodProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
+	p.fresh = p.fresh[:0]
+	for _, env := range inbox {
+		batch, ok := env.Payload.(idBatch)
+		if !ok {
+			continue
+		}
+		for _, e := range batch.Entries {
+			// Record the smallest hop counter per ID; under message jitter
+			// an identity can first arrive via a longer route, and the
+			// shorter one must still be re-forwarded so fringe nodes within
+			// the K-hop horizon are not missed.
+			if prev, seen := p.known[e.ID]; seen && prev <= e.Hops {
+				continue
+			}
+			p.known[e.ID] = e.Hops
+			if e.Hops < p.k {
+				p.fresh = append(p.fresh, idHop{ID: e.ID, Hops: e.Hops + 1})
+			}
+		}
+	}
+	if len(p.fresh) > 0 {
+		entries := make([]idHop, len(p.fresh))
+		copy(entries, p.fresh)
+		ctx.Broadcast(idBatch{Entries: entries})
+	}
+}
+
+// size returns |N_k| (the node itself excluded).
+func (p *neighborhoodProgram) size() int { return len(p.known) - 1 }
+
+// runNeighborhood executes the K-hop discovery phase.
+func runNeighborhood(g *graph.Graph, k int, jitter int, seed int64) ([]int, simnet.Stats, error) {
+	programs := make([]simnet.Program, g.N())
+	nodes := make([]*neighborhoodProgram, g.N())
+	for v := range programs {
+		nodes[v] = &neighborhoodProgram{k: int32(k)}
+		programs[v] = nodes[v]
+	}
+	sim, err := simnet.New(g, programs)
+	if err != nil {
+		return nil, simnet.Stats{}, err
+	}
+	sim.Jitter, sim.JitterSeed = jitter, seed
+	stats, err := sim.Run()
+	if err != nil {
+		return nil, stats, err
+	}
+	khop := make([]int, g.N())
+	for v, p := range nodes {
+		khop[v] = p.size()
+	}
+	return khop, stats, nil
+}

@@ -1,0 +1,122 @@
+package protocol
+
+import (
+	"testing"
+
+	"bfskel/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestRunNeighborhoodPath(t *testing.T) {
+	g := pathGraph(8)
+	khop, stats, err := runNeighborhood(g, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 4, 4, 4, 4, 3, 2}
+	for v := range want {
+		if khop[v] != want[v] {
+			t.Errorf("khop[%d] = %d, want %d", v, khop[v], want[v])
+		}
+	}
+	// Set-broadcast: at most k transmissions per node.
+	if stats.Messages > 2*g.N() {
+		t.Errorf("messages = %d > 2n", stats.Messages)
+	}
+}
+
+func TestRunCentralityPath(t *testing.T) {
+	g := pathGraph(5)
+	khop := []int{1, 2, 3, 4, 5} // synthetic sizes for checkable averages
+	cent, index, _, err := runCentrality(g, 1, khop, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c_1(v) averages khop over v and its direct neighbors.
+	want := []float64{(1 + 2) / 2.0, (1 + 2 + 3) / 3.0, (2 + 3 + 4) / 3.0, (3 + 4 + 5) / 3.0, (4 + 5) / 2.0}
+	for v := range want {
+		if cent[v] != want[v] {
+			t.Errorf("cent[%d] = %v, want %v", v, cent[v], want[v])
+		}
+		if index[v] != (float64(khop[v])+cent[v])/2 {
+			t.Errorf("index[%d] broken", v)
+		}
+	}
+}
+
+func TestRunElectionPath(t *testing.T) {
+	g := pathGraph(7)
+	// Two separated peaks at 1 and 5.
+	index := []float64{1, 9, 2, 3, 2, 8, 1}
+	sites, _, err := runElection(g, 2, index, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2 || sites[0] != 1 || sites[1] != 5 {
+		t.Errorf("sites = %v, want [1 5]", sites)
+	}
+	// With scope 4 the peaks see each other; only the higher survives.
+	sites, _, err = runElection(g, 4, index, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 || sites[0] != 1 {
+		t.Errorf("scope-4 sites = %v, want [1]", sites)
+	}
+}
+
+func TestRunElectionTieBreak(t *testing.T) {
+	g := pathGraph(3)
+	index := []float64{5, 5, 5}
+	sites, _, err := runElection(g, 2, index, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 || sites[0] != 0 {
+		t.Errorf("tie-break sites = %v, want [0]", sites)
+	}
+}
+
+func TestRunVoronoiPath(t *testing.T) {
+	g := pathGraph(9)
+	records, _, err := runVoronoi(g, []int32{0, 8}, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 4 is equidistant (4 vs 4): records both sites.
+	if len(records[4]) != 2 {
+		t.Fatalf("node 4 records = %v", records[4])
+	}
+	// Nodes 3 and 5 are within slack 1 of the far site (3 vs 5? no: 3 and
+	// 5 -> |3-5| = 2 > 1), so they record only their near site... check:
+	// node 3: d(0)=3, d(8)=5 -> only site 0.
+	if len(records[3]) != 1 || records[3][0].Site != 0 || records[3][0].D != 3 {
+		t.Errorf("node 3 records = %v", records[3])
+	}
+	// Reverse-path parents step toward the site.
+	if records[3][0].Parent != 2 {
+		t.Errorf("node 3 parent = %d", records[3][0].Parent)
+	}
+	// Sites record themselves at distance 0.
+	if len(records[0]) == 0 || records[0][0].D != 0 || records[0][0].Site != 0 {
+		t.Errorf("site record = %v", records[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := pathGraph(3)
+	if _, err := Run(g, 0, 1, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RunJittered(g, 1, 1, 1, 1, -1, 0); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"bfskel/internal/core"
+	"bfskel/internal/graph"
+	"bfskel/internal/simnet"
+)
+
+// siteAnnounce carries one site's flood wavefront with its hop counter.
+type siteAnnounce struct {
+	Site int32
+	Dist int32
+}
+
+// voronoiBatch is one transmission's set of new or improved site records.
+type voronoiBatch struct {
+	Entries []siteAnnounce
+}
+
+// voronoiProgram implements the Voronoi cell construction (paper
+// Sec. III-B): the sites flood simultaneously; every node keeps its nearest
+// site(s), records any site whose distance is within Alpha of the nearest,
+// remembers the reverse-path parent, and forwards each new or improved
+// record once. Distances travel in the payload, and improved (shorter)
+// arrivals update and re-forward, so the final records equal the
+// centralized pruned multi-source BFS even when message timing is jittered;
+// when the nearest distance shrinks, records that fall out of the Alpha
+// window are dropped.
+type voronoiProgram struct {
+	alpha   int32
+	site    bool
+	dmin    int32
+	records []record
+	fresh   []siteAnnounce
+}
+
+// record is a recorded site with its distance and reverse-path parent.
+type record struct {
+	site   int32
+	dist   int32
+	parent int32
+}
+
+var _ simnet.Program = (*voronoiProgram)(nil)
+
+func (p *voronoiProgram) Init(ctx *simnet.Context) {
+	p.dmin = -1
+	if p.site {
+		p.dmin = 0
+		p.records = append(p.records, record{site: int32(ctx.ID()), dist: 0, parent: int32(ctx.ID())})
+		ctx.Broadcast(voronoiBatch{Entries: []siteAnnounce{{Site: int32(ctx.ID()), Dist: 0}}})
+	}
+}
+
+func (p *voronoiProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
+	p.fresh = p.fresh[:0]
+	for _, env := range inbox {
+		batch, ok := env.Payload.(voronoiBatch)
+		if !ok {
+			continue
+		}
+		for _, a := range batch.Entries {
+			d := a.Dist + 1
+			if p.dmin != -1 && d > p.dmin+p.alpha {
+				continue
+			}
+			if !p.accept(a.Site, d, int32(env.From)) {
+				continue
+			}
+			if p.dmin == -1 || d < p.dmin {
+				p.dmin = d
+				p.dropStale()
+			}
+			p.fresh = append(p.fresh, siteAnnounce{Site: a.Site, Dist: d})
+		}
+	}
+	if len(p.fresh) > 0 {
+		entries := make([]siteAnnounce, len(p.fresh))
+		copy(entries, p.fresh)
+		ctx.Broadcast(voronoiBatch{Entries: entries})
+	}
+}
+
+// accept records or improves the (site, dist) entry; it reports whether the
+// entry was new or shorter than what was known.
+func (p *voronoiProgram) accept(site, dist, parent int32) bool {
+	for i := range p.records {
+		if p.records[i].site != site {
+			continue
+		}
+		if p.records[i].dist <= dist {
+			return false
+		}
+		p.records[i].dist = dist
+		p.records[i].parent = parent
+		return true
+	}
+	p.records = append(p.records, record{site: site, dist: dist, parent: parent})
+	return true
+}
+
+// dropStale removes records outside the Alpha window after dmin shrank.
+func (p *voronoiProgram) dropStale() {
+	kept := p.records[:0]
+	for _, r := range p.records {
+		if r.dist <= p.dmin+p.alpha {
+			kept = append(kept, r)
+		}
+	}
+	p.records = kept
+}
+
+// runVoronoi executes the Voronoi flooding phase.
+func runVoronoi(g *graph.Graph, sites []int32, alpha int32, jitter int, seed int64) ([][]core.SiteDist, simnet.Stats, error) {
+	isSite := make([]bool, g.N())
+	for _, s := range sites {
+		isSite[s] = true
+	}
+	programs := make([]simnet.Program, g.N())
+	nodes := make([]*voronoiProgram, g.N())
+	for v := range programs {
+		nodes[v] = &voronoiProgram{alpha: alpha, site: isSite[v]}
+		programs[v] = nodes[v]
+	}
+	sim, err := simnet.New(g, programs)
+	if err != nil {
+		return nil, simnet.Stats{}, err
+	}
+	sim.Jitter, sim.JitterSeed = jitter, seed
+	stats, err := sim.Run()
+	if err != nil {
+		return nil, stats, err
+	}
+	records := make([][]core.SiteDist, g.N())
+	for v, p := range nodes {
+		for _, r := range p.records {
+			records[v] = append(records[v], core.SiteDist{Site: r.site, D: r.dist, Parent: r.parent})
+		}
+	}
+	return records, stats, nil
+}

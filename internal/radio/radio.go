@@ -1,0 +1,153 @@
+// Package radio implements the communication radio models of the paper's
+// evaluation (Sec. IV): the Unit-Disk Graph, the Quasi-Unit-Disk Graph, and
+// the log-normal shadowing model of Hekmat & Van Mieghem (paper Eq. 2).
+//
+// A Model maps a pairwise distance to a link probability. Link realisations
+// are drawn by the network builder with a seeded RNG so that a (deployment,
+// model, seed) triple always yields the same connectivity graph.
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model describes a symmetric stochastic link model.
+type Model interface {
+	// LinkProb returns the probability that two nodes separated by dist
+	// share a link. Must be in [0, 1] and non-increasing beyond MaxRange.
+	LinkProb(dist float64) float64
+	// MaxRange returns a distance beyond which LinkProb is (effectively)
+	// zero; the graph builder only examines pairs within this range.
+	MaxRange() float64
+	// String names the model for reports.
+	String() string
+}
+
+// UDG is the Unit-Disk Graph model: nodes are connected iff their
+// separation is no greater than R.
+type UDG struct {
+	// R is the communication radio range.
+	R float64
+}
+
+var _ Model = UDG{}
+
+// LinkProb implements Model.
+func (m UDG) LinkProb(dist float64) float64 {
+	if dist <= m.R {
+		return 1
+	}
+	return 0
+}
+
+// MaxRange implements Model.
+func (m UDG) MaxRange() float64 { return m.R }
+
+// String implements Model.
+func (m UDG) String() string { return fmt.Sprintf("UDG(R=%.3g)", m.R) }
+
+// QUDG is the Quasi-Unit-Disk Graph model with parameters 0 <= Alpha < 1 and
+// 0 < P < 1: a link surely exists below (1-Alpha)R, exists with probability
+// P between (1-Alpha)R and (1+Alpha)R, and never exists beyond (1+Alpha)R.
+type QUDG struct {
+	R     float64
+	Alpha float64
+	P     float64
+}
+
+var _ Model = QUDG{}
+
+// LinkProb implements Model.
+func (m QUDG) LinkProb(dist float64) float64 {
+	switch {
+	case dist < (1-m.Alpha)*m.R:
+		return 1
+	case dist <= (1+m.Alpha)*m.R:
+		return m.P
+	default:
+		return 0
+	}
+}
+
+// MaxRange implements Model.
+func (m QUDG) MaxRange() float64 { return (1 + m.Alpha) * m.R }
+
+// String implements Model.
+func (m QUDG) String() string {
+	return fmt.Sprintf("QUDG(R=%.3g, alpha=%.2f, p=%.2f)", m.R, m.Alpha, m.P)
+}
+
+// LogNormal is the log-normal shadowing model of paper Eq. 2:
+//
+//	p(r^) = 1/2 * (1 - erf(alpha * log10(r^) / Epsilon)),  alpha = 10/sqrt(2)
+//
+// where r^ = dist/R is the normalized distance and Epsilon = sigma/eta is
+// the ratio of the shadowing standard deviation to the path-loss exponent
+// (0 <= Epsilon <= 6 empirically). Epsilon = 0 degenerates to UDG. Links
+// shorter than R may be absent and links longer than R exist with non-zero
+// probability — the model's defining feature.
+type LogNormal struct {
+	R       float64
+	Epsilon float64
+}
+
+var _ Model = LogNormal{}
+
+// logNormalAlpha is 10/sqrt(2) from Eq. 2 after converting natural log to
+// log10 (the paper writes alpha = 10/(sqrt(2) * ln 10) against ln r^).
+const logNormalAlpha = 10.0 / math.Sqrt2
+
+// cutoffProb is the link probability below which we truncate the model's
+// infinite tail; it bounds MaxRange so the graph builder stays near-linear.
+const cutoffProb = 0.005
+
+// LinkProb implements Model.
+func (m LogNormal) LinkProb(dist float64) float64 {
+	if m.Epsilon <= 0 {
+		if dist <= m.R {
+			return 1
+		}
+		return 0
+	}
+	if dist <= 0 {
+		return 1
+	}
+	rhat := dist / m.R
+	p := 0.5 * (1 - math.Erf(logNormalAlpha*math.Log10(rhat)/m.Epsilon))
+	if p < cutoffProb {
+		return 0
+	}
+	return p
+}
+
+// MaxRange implements Model. It returns the distance at which LinkProb
+// crosses cutoffProb.
+func (m LogNormal) MaxRange() float64 {
+	if m.Epsilon <= 0 {
+		return m.R
+	}
+	// Solve 1/2 (1 - erf(a*log10(rhat)/eps)) = cutoffProb for rhat.
+	x := inverseErf(1 - 2*cutoffProb)
+	return m.R * math.Pow(10, x*m.Epsilon/logNormalAlpha)
+}
+
+// String implements Model.
+func (m LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(R=%.3g, eps=%.2f)", m.R, m.Epsilon)
+}
+
+// inverseErf computes the inverse error function by bisection; it is only
+// used to size MaxRange, so a modest precision suffices.
+func inverseErf(y float64) float64 {
+	lo, hi := 0.0, 6.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if math.Erf(mid) < y {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

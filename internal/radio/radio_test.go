@@ -1,0 +1,160 @@
+package radio_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bfskel/internal/radio"
+)
+
+func TestUDG(t *testing.T) {
+	m := radio.UDG{R: 5}
+	tests := []struct {
+		d    float64
+		want float64
+	}{
+		{0, 1}, {4.99, 1}, {5, 1}, {5.01, 0}, {100, 0},
+	}
+	for _, tt := range tests {
+		if got := m.LinkProb(tt.d); got != tt.want {
+			t.Errorf("LinkProb(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+	if m.MaxRange() != 5 {
+		t.Errorf("MaxRange = %v", m.MaxRange())
+	}
+}
+
+func TestQUDG(t *testing.T) {
+	m := radio.QUDG{R: 10, Alpha: 0.4, P: 0.3}
+	tests := []struct {
+		d    float64
+		want float64
+	}{
+		{0, 1}, {5.9, 1}, {6.1, 0.3}, {13.9, 0.3}, {14.1, 0},
+	}
+	for _, tt := range tests {
+		if got := m.LinkProb(tt.d); got != tt.want {
+			t.Errorf("LinkProb(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+	if got := m.MaxRange(); got != 14 {
+		t.Errorf("MaxRange = %v, want 14", got)
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	m := radio.LogNormal{R: 10, Epsilon: 2}
+	// At the nominal range the probability is exactly 1/2.
+	if got := m.LinkProb(10); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("LinkProb(R) = %v, want 0.5", got)
+	}
+	// Monotone non-increasing in distance.
+	prev := 2.0
+	for d := 0.5; d < 50; d += 0.5 {
+		p := m.LinkProb(d)
+		if p > prev+1e-12 {
+			t.Fatalf("LinkProb not monotone at %v: %v > %v", d, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("LinkProb(%v) = %v out of [0,1]", d, p)
+		}
+		prev = p
+	}
+	// Long links exist with non-zero probability (the defining feature).
+	if m.LinkProb(12) <= 0 {
+		t.Error("link beyond R should have non-zero probability")
+	}
+	// Beyond MaxRange the probability is zero.
+	if got := m.LinkProb(m.MaxRange() + 1); got != 0 {
+		t.Errorf("LinkProb beyond MaxRange = %v", got)
+	}
+}
+
+func TestLogNormalEpsilonZeroIsUDG(t *testing.T) {
+	m := radio.LogNormal{R: 7, Epsilon: 0}
+	if m.LinkProb(6.9) != 1 || m.LinkProb(7.1) != 0 {
+		t.Error("epsilon=0 should degenerate to UDG")
+	}
+	if m.MaxRange() != 7 {
+		t.Errorf("MaxRange = %v", m.MaxRange())
+	}
+}
+
+// TestLogNormalRangeGrowsWithEpsilon: heavier shadowing reaches farther.
+func TestLogNormalRangeGrowsWithEpsilon(t *testing.T) {
+	prev := 0.0
+	for _, eps := range []float64{0, 1, 2, 3, 4} {
+		r := radio.LogNormal{R: 10, Epsilon: eps}.MaxRange()
+		if r < prev {
+			t.Fatalf("MaxRange decreased at eps=%v: %v < %v", eps, r, prev)
+		}
+		prev = r
+	}
+}
+
+// TestProbabilityBounds is a property check across all models.
+func TestProbabilityBounds(t *testing.T) {
+	models := []radio.Model{
+		radio.UDG{R: 3},
+		radio.QUDG{R: 3, Alpha: 0.5, P: 0.4},
+		radio.LogNormal{R: 3, Epsilon: 1.5},
+	}
+	f := func(d float64) bool {
+		d = math.Abs(d)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			d = 1
+		}
+		d = math.Mod(d, 100)
+		for _, m := range models {
+			p := m.LinkProb(d)
+			if p < 0 || p > 1 {
+				return false
+			}
+			if d > m.MaxRange() && p != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithRangeAndBaseRange(t *testing.T) {
+	for _, m := range []radio.Model{
+		radio.UDG{R: 2},
+		radio.QUDG{R: 2, Alpha: 0.1, P: 0.5},
+		radio.LogNormal{R: 2, Epsilon: 1},
+	} {
+		r, ok := radio.BaseRange(m)
+		if !ok || r != 2 {
+			t.Errorf("%v: BaseRange = %v, %v", m, r, ok)
+		}
+		scaled, ok := radio.WithRange(m, 5)
+		if !ok {
+			t.Errorf("%v: WithRange failed", m)
+		}
+		if r, _ := radio.BaseRange(scaled); r != 5 {
+			t.Errorf("%v: scaled range = %v", m, r)
+		}
+		// The original is unchanged (value semantics).
+		if r, _ := radio.BaseRange(m); r != 2 {
+			t.Errorf("%v: original mutated to %v", m, r)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, m := range []radio.Model{
+		radio.UDG{R: 2},
+		radio.QUDG{R: 2, Alpha: 0.1, P: 0.5},
+		radio.LogNormal{R: 2, Epsilon: 1},
+	} {
+		if m.String() == "" {
+			t.Errorf("%T: empty String()", m)
+		}
+	}
+}

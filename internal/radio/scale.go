@@ -1,0 +1,35 @@
+package radio
+
+// WithRange returns a copy of the model with its base range R replaced.
+// It reports false for model types it does not know how to rescale.
+// The network builder uses it to calibrate a probabilistic model against a
+// target average degree.
+func WithRange(m Model, r float64) (Model, bool) {
+	switch t := m.(type) {
+	case UDG:
+		t.R = r
+		return t, true
+	case QUDG:
+		t.R = r
+		return t, true
+	case LogNormal:
+		t.R = r
+		return t, true
+	default:
+		return m, false
+	}
+}
+
+// BaseRange returns the model's base range R, if known.
+func BaseRange(m Model) (float64, bool) {
+	switch t := m.(type) {
+	case UDG:
+		return t.R, true
+	case QUDG:
+		return t.R, true
+	case LogNormal:
+		return t.R, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,103 @@
+package render
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"bfskel/internal/geom"
+)
+
+// Raster draws the same primitives as Scene onto a bitmap, for environments
+// without an SVG viewer and for the repository's self-checking golden
+// images.
+type Raster struct {
+	img    *image.RGBA
+	bounds geom.Rect
+	scale  float64
+}
+
+// NewRaster creates a bitmap canvas covering the field bounds at the given
+// pixels-per-unit scale.
+func NewRaster(bounds geom.Rect, scale float64) *Raster {
+	bounds = bounds.Expand(2)
+	w := int(math.Ceil(bounds.Width() * scale))
+	h := int(math.Ceil(bounds.Height() * scale))
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for i := range img.Pix {
+		img.Pix[i] = 0xff // white background
+	}
+	return &Raster{img: img, bounds: bounds, scale: scale}
+}
+
+func (r *Raster) px(p geom.Point) (float64, float64) {
+	return (p.X - r.bounds.Min.X) * r.scale, (r.bounds.Max.Y - p.Y) * r.scale
+}
+
+// Dot draws a filled disk at a field coordinate.
+func (r *Raster) Dot(p geom.Point, radius float64, c color.RGBA) {
+	cx, cy := r.px(p)
+	r0 := int(math.Ceil(radius))
+	for dy := -r0; dy <= r0; dy++ {
+		for dx := -r0; dx <= r0; dx++ {
+			if float64(dx*dx+dy*dy) <= radius*radius {
+				r.img.SetRGBA(int(cx)+dx, int(cy)+dy, c)
+			}
+		}
+	}
+}
+
+// Line draws a 1px line between field coordinates.
+func (r *Raster) Line(a, b geom.Point, c color.RGBA) {
+	x0, y0 := r.px(a)
+	x1, y1 := r.px(b)
+	steps := int(math.Max(math.Abs(x1-x0), math.Abs(y1-y0))) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		r.img.SetRGBA(int(x0+(x1-x0)*t), int(y0+(y1-y0)*t), c)
+	}
+}
+
+// ThickLine draws a line with the given pixel width.
+func (r *Raster) ThickLine(a, b geom.Point, width float64, c color.RGBA) {
+	x0, y0 := r.px(a)
+	x1, y1 := r.px(b)
+	steps := int(math.Max(math.Abs(x1-x0), math.Abs(y1-y0))) + 1
+	half := int(math.Ceil(width / 2))
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		px, py := int(x0+(x1-x0)*t), int(y0+(y1-y0)*t)
+		for dy := -half; dy <= half; dy++ {
+			for dx := -half; dx <= half; dx++ {
+				r.img.SetRGBA(px+dx, py+dy, c)
+			}
+		}
+	}
+}
+
+// Ring draws a polygon ring outline.
+func (r *Raster) Ring(ring geom.Ring, c color.RGBA) {
+	n := len(ring)
+	for i := 0; i < n; i++ {
+		r.Line(ring[i], ring[(i+1)%n], c)
+	}
+}
+
+// EncodePNG writes the canvas as a PNG.
+func (r *Raster) EncodePNG(w io.Writer) error {
+	return png.Encode(w, r.img)
+}
+
+// Common colors used by the figure renders.
+var (
+	Gray   = color.RGBA{R: 0xbb, G: 0xbb, B: 0xbb, A: 0xff}
+	Dim    = color.RGBA{R: 0xdd, G: 0xdd, B: 0xdd, A: 0xff}
+	Black  = color.RGBA{A: 0xff}
+	Red    = color.RGBA{R: 0xd6, G: 0x27, B: 0x28, A: 0xff}
+	Blue   = color.RGBA{R: 0x1f, G: 0x77, B: 0xb4, A: 0xff}
+	Green  = color.RGBA{R: 0x2c, G: 0xa0, B: 0x2c, A: 0xff}
+	Purple = color.RGBA{R: 0x94, G: 0x67, B: 0xbd, A: 0xff}
+	Orange = color.RGBA{R: 0xff, G: 0x7f, B: 0x0e, A: 0xff}
+)

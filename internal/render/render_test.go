@@ -1,0 +1,70 @@
+package render_test
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"bfskel/internal/geom"
+	"bfskel/internal/render"
+)
+
+func TestSceneSVG(t *testing.T) {
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)}
+	s := render.NewScene(bounds, render.DefaultStyle())
+	pg := geom.MustPolygon(geom.Ring{geom.Pt(1, 1), geom.Pt(9, 1), geom.Pt(9, 9), geom.Pt(1, 9)})
+	s.Polygon(pg, "#000000", "none")
+	pts := []geom.Point{geom.Pt(2, 2), geom.Pt(5, 5)}
+	s.Nodes(pts, nil, "#ff0000", 2)
+	s.Nodes(pts, []bool{true, false}, "#00ff00", 2)
+	s.Edges(pts, [][2]int32{{0, 1}}, "#0000ff", 1)
+	s.Polyline(pts, []int32{0, 1}, "#123456", 1)
+	s.Polyline(pts, []int32{0}, "#123456", 1) // too short: no output
+	s.Label(geom.Pt(3, 3), "hello", "#000", 12)
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<line", "<path", "hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// y-flip: the point at field (2,2) should render near the bottom.
+	if !strings.HasPrefix(out, "<svg xmlns=") {
+		t.Error("missing xmlns header")
+	}
+}
+
+func TestRasterPNG(t *testing.T) {
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(20, 10)}
+	r := render.NewRaster(bounds, 4)
+	r.Dot(geom.Pt(5, 9), 3, render.Red)
+	r.Line(geom.Pt(0, 0), geom.Pt(20, 10), render.Black)
+	r.ThickLine(geom.Pt(0, 10), geom.Pt(20, 0), 2, render.Blue)
+	r.Ring(geom.Ring{geom.Pt(2, 2), geom.Pt(18, 2), geom.Pt(18, 8)}, render.Green)
+
+	var buf bytes.Buffer
+	if err := r.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	// 24x14 field units (bounds expanded by 2) at 4 px/unit.
+	if b.Dx() != 96 || b.Dy() != 56 {
+		t.Errorf("bitmap %dx%d, want 96x56", b.Dx(), b.Dy())
+	}
+	// The dot pixel (off both diagonals) must be red.
+	cx := int((5.0 - (-2.0)) * 4)
+	cy := int((12.0 - 9.0) * 4)
+	rr, gg, bb, _ := img.At(cx, cy).RGBA()
+	if rr>>8 != 0xd6 || gg>>8 != 0x27 || bb>>8 != 0x28 {
+		t.Errorf("center pixel = %x %x %x, want red", rr>>8, gg>>8, bb>>8)
+	}
+}

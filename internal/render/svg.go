@@ -1,0 +1,123 @@
+// Package render draws networks, fields and skeletons as SVG documents —
+// the repository's regeneration of the paper's figures. It has no
+// dependency on the pipeline beyond plain data (points, masks, polygons),
+// so any stage can be visualised.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bfskel/internal/geom"
+)
+
+// Style selects colors and sizes for one SVG scene.
+type Style struct {
+	// Scale multiplies field coordinates into pixels.
+	Scale float64
+	// NodeRadius is the dot radius for ordinary nodes, in pixels.
+	NodeRadius float64
+	// Background is the page background color.
+	Background string
+}
+
+// DefaultStyle renders a 100x100 field at 8 px/unit.
+func DefaultStyle() Style {
+	return Style{Scale: 8, NodeRadius: 1.6, Background: "#ffffff"}
+}
+
+// Scene accumulates layers and writes a single SVG document.
+type Scene struct {
+	style  Style
+	bounds geom.Rect
+	body   strings.Builder
+}
+
+// NewScene creates a scene covering the given field bounds.
+func NewScene(bounds geom.Rect, style Style) *Scene {
+	return &Scene{style: style, bounds: bounds.Expand(2)}
+}
+
+func (s *Scene) x(v float64) float64 { return (v - s.bounds.Min.X) * s.style.Scale }
+
+// SVG uses a y-down coordinate system; fields use y-up, so flip.
+func (s *Scene) y(v float64) float64 { return (s.bounds.Max.Y - v) * s.style.Scale }
+
+// Polygon draws a field outline (outer ring plus holes) with the given
+// stroke and fill colors.
+func (s *Scene) Polygon(pg *geom.Polygon, stroke, fill string) {
+	var d strings.Builder
+	for _, ring := range pg.Rings() {
+		for i, p := range ring {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&d, "%s%.1f %.1f ", cmd, s.x(p.X), s.y(p.Y))
+		}
+		d.WriteString("Z ")
+	}
+	fmt.Fprintf(&s.body,
+		"<path d=%q fill=%q fill-rule=\"evenodd\" stroke=%q stroke-width=\"1\"/>\n",
+		d.String(), fill, stroke)
+}
+
+// Nodes draws a dot for every point; mask (optional) selects a subset.
+func (s *Scene) Nodes(pts []geom.Point, mask []bool, color string, radius float64) {
+	if radius <= 0 {
+		radius = s.style.NodeRadius
+	}
+	for i, p := range pts {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		fmt.Fprintf(&s.body, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=%q/>\n",
+			s.x(p.X), s.y(p.Y), radius, color)
+	}
+}
+
+// Edges draws line segments between point pairs.
+func (s *Scene) Edges(pts []geom.Point, pairs [][2]int32, color string, width float64) {
+	for _, e := range pairs {
+		a, b := pts[e[0]], pts[e[1]]
+		fmt.Fprintf(&s.body,
+			"<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=%q stroke-width=\"%.1f\"/>\n",
+			s.x(a.X), s.y(a.Y), s.x(b.X), s.y(b.Y), color, width)
+	}
+}
+
+// Polyline draws a connected path through the listed node IDs.
+func (s *Scene) Polyline(pts []geom.Point, ids []int32, color string, width float64) {
+	if len(ids) < 2 {
+		return
+	}
+	var d strings.Builder
+	for i, id := range ids {
+		cmd := "L"
+		if i == 0 {
+			cmd = "M"
+		}
+		fmt.Fprintf(&d, "%s%.1f %.1f ", cmd, s.x(pts[id].X), s.y(pts[id].Y))
+	}
+	fmt.Fprintf(&s.body, "<path d=%q fill=\"none\" stroke=%q stroke-width=\"%.1f\"/>\n",
+		d.String(), color, width)
+}
+
+// Label places a text label at a field coordinate.
+func (s *Scene) Label(p geom.Point, text, color string, size float64) {
+	fmt.Fprintf(&s.body,
+		"<text x=\"%.1f\" y=\"%.1f\" fill=%q font-size=\"%.0f\" font-family=\"sans-serif\">%s</text>\n",
+		s.x(p.X), s.y(p.Y), color, size, text)
+}
+
+// WriteTo emits the complete SVG document.
+func (s *Scene) WriteTo(w io.Writer) (int64, error) {
+	width := s.bounds.Width() * s.style.Scale
+	height := s.bounds.Height() * s.style.Scale
+	n, err := fmt.Fprintf(w,
+		"<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n"+
+			"<rect width=\"100%%\" height=\"100%%\" fill=%q/>\n%s</svg>\n",
+		width, height, width, height, s.style.Background, s.body.String())
+	return int64(n), err
+}

@@ -1,0 +1,266 @@
+// Package route implements the skeleton-aided naming and routing scheme the
+// paper motivates in Sec. I: each node is named by its nearest skeleton
+// node and its hop distance to it; messages travel source -> anchor ->
+// along the skeleton -> anchor -> destination, keeping traffic near the
+// medial axis and away from boundary nodes. A plain shortest-path router is
+// the load-balance baseline.
+package route
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"bfskel/internal/core"
+	"bfskel/internal/graph"
+)
+
+// ErrUnreachable is returned when no route exists between the endpoints.
+var ErrUnreachable = errors.New("route: unreachable destination")
+
+// Router computes a node path between two endpoints.
+type Router interface {
+	// Route returns the node sequence from s to t (inclusive).
+	Route(s, t int32) ([]int32, error)
+}
+
+// ShortestPath routes along BFS shortest paths; it caches the BFS tree per
+// source so repeated queries from one source are cheap.
+type ShortestPath struct {
+	g          *graph.Graph
+	lastSrc    int32
+	lastParent []int32
+}
+
+var _ Router = (*ShortestPath)(nil)
+
+// NewShortestPath creates the baseline router.
+func NewShortestPath(g *graph.Graph) *ShortestPath {
+	return &ShortestPath{g: g, lastSrc: -1}
+}
+
+// Route implements Router.
+func (r *ShortestPath) Route(s, t int32) ([]int32, error) {
+	if r.lastSrc != s {
+		_, parent := r.g.BFSPaths(int(s))
+		r.lastSrc, r.lastParent = s, parent
+	}
+	path := graph.PathTo(r.lastParent, int(t))
+	if path == nil {
+		return nil, ErrUnreachable
+	}
+	return path, nil
+}
+
+// Skeleton is the skeleton-aided router. Naming: every node stores its
+// anchor (nearest skeleton node), its distance, and the reverse path. A
+// route is the concatenation source->anchor, anchor->anchor along the
+// skeleton, anchor->destination.
+type Skeleton struct {
+	g *graph.Graph
+	// anchor and toAnchor name every node: the nearest skeleton node and
+	// the next hop toward it.
+	anchor []int32
+	parent []int32
+	skel   *core.Skeleton
+}
+
+var _ Router = (*Skeleton)(nil)
+
+// NewSkeleton builds the naming scheme (one multi-source BFS from all
+// skeleton nodes).
+func NewSkeleton(g *graph.Graph, skel *core.Skeleton) (*Skeleton, error) {
+	nodes := skel.Nodes()
+	if len(nodes) == 0 {
+		return nil, errors.New("route: empty skeleton")
+	}
+	n := g.N()
+	r := &Skeleton{
+		g:      g,
+		anchor: make([]int32, n),
+		parent: make([]int32, n),
+		skel:   skel,
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Unreachable
+		r.anchor[i] = -1
+		r.parent[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for _, v := range nodes {
+		dist[v] = 0
+		r.anchor[v] = v
+		r.parent[v] = v
+		queue = append(queue, v)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] == graph.Unreachable {
+				dist[v] = dist[u] + 1
+				r.anchor[v] = r.anchor[u]
+				r.parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Anchor returns v's name: its nearest skeleton node.
+func (r *Skeleton) Anchor(v int32) int32 { return r.anchor[v] }
+
+// Route implements Router.
+func (r *Skeleton) Route(s, t int32) ([]int32, error) {
+	as, at := r.anchor[s], r.anchor[t]
+	if as < 0 || at < 0 {
+		return nil, ErrUnreachable
+	}
+	head := r.pathToAnchor(s)
+	spine, err := r.skeletonPath(as, at)
+	if err != nil {
+		return nil, err
+	}
+	tail := r.pathToAnchor(t)
+	// Concatenate head + spine[1:] + reversed(tail)[1:].
+	path := append([]int32{}, head...)
+	path = append(path, spine[1:]...)
+	for i := len(tail) - 2; i >= 0; i-- {
+		path = append(path, tail[i])
+	}
+	return compactPath(path), nil
+}
+
+// pathToAnchor follows the naming parents from v to its anchor.
+func (r *Skeleton) pathToAnchor(v int32) []int32 {
+	path := []int32{v}
+	for r.parent[v] != v {
+		v = r.parent[v]
+		path = append(path, v)
+	}
+	return path
+}
+
+// skeletonPath runs BFS within the skeleton structure between two skeleton
+// nodes.
+func (r *Skeleton) skeletonPath(a, b int32) ([]int32, error) {
+	if a == b {
+		return []int32{a}, nil
+	}
+	parent := map[int32]int32{a: a}
+	queue := []int32{a}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if u == b {
+			var rev []int32
+			for v := b; ; v = parent[v] {
+				rev = append(rev, v)
+				if parent[v] == v {
+					break
+				}
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, nil
+		}
+		for _, v := range r.skel.Neighbors(u) {
+			if _, seen := parent[v]; !seen {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil, ErrUnreachable
+}
+
+// compactPath removes immediate backtracking (u, v, u) introduced at the
+// anchor joints.
+func compactPath(path []int32) []int32 {
+	out := path[:0:0]
+	for _, v := range path {
+		if len(out) >= 2 && out[len(out)-2] == v {
+			out = out[:len(out)-1]
+			continue
+		}
+		if len(out) >= 1 && out[len(out)-1] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// LoadReport summarises a routing workload.
+type LoadReport struct {
+	// Pairs is the number of routed source/destination pairs.
+	Pairs int
+	// MeanStretch is the mean ratio of the router's path length to the
+	// shortest path length.
+	MeanStretch float64
+	// MaxLoad is the highest per-node traversal count; P99Load the 99th
+	// percentile.
+	MaxLoad, P99Load int
+	// BoundaryShare is the fraction of total traversals that crossed the
+	// given boundary node set — the paper's load-balance concern.
+	BoundaryShare float64
+	// Load is the per-node traversal count.
+	Load []int
+}
+
+// MeasureLoad routes `pairs` random source/destination pairs and aggregates
+// per-node load; isBoundary (optional) attributes boundary traffic.
+func MeasureLoad(g *graph.Graph, r Router, pairs int, seed int64, isBoundary []bool) (LoadReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	rep := LoadReport{Load: make([]int, n)}
+	sp := NewShortestPath(g)
+	var stretchSum float64
+	for i := 0; i < pairs; i++ {
+		s := int32(rng.Intn(n))
+		t := int32(rng.Intn(n))
+		if s == t {
+			continue
+		}
+		path, err := r.Route(s, t)
+		if err != nil {
+			return rep, err
+		}
+		base, err := sp.Route(s, t)
+		if err != nil {
+			return rep, err
+		}
+		if len(base) > 1 {
+			stretchSum += float64(len(path)-1) / float64(len(base)-1)
+		} else {
+			stretchSum += 1
+		}
+		rep.Pairs++
+		for _, v := range path {
+			rep.Load[v]++
+		}
+	}
+	if rep.Pairs > 0 {
+		rep.MeanStretch = stretchSum / float64(rep.Pairs)
+	}
+	total := 0
+	boundaryTotal := 0
+	sorted := make([]int, n)
+	for v, l := range rep.Load {
+		total += l
+		sorted[v] = l
+		if isBoundary != nil && isBoundary[v] {
+			boundaryTotal += l
+		}
+	}
+	sort.Ints(sorted)
+	if n > 0 {
+		rep.MaxLoad = sorted[n-1]
+		rep.P99Load = sorted[n*99/100]
+	}
+	if total > 0 && isBoundary != nil {
+		rep.BoundaryShare = float64(boundaryTotal) / float64(total)
+	}
+	return rep, nil
+}

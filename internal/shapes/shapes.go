@@ -1,0 +1,385 @@
+// Package shapes defines the deployment fields used in the paper's
+// evaluation (Figs. 1 and 4): eleven regions of roughly 100x100 units, each
+// a polygon with zero or more holes. The silhouettes are hand-crafted
+// approximations; only their topology (holes, concavities, branches) and
+// rough proportions matter to the skeleton algorithm.
+package shapes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bfskel/internal/geom"
+)
+
+// Shape is a named deployment field.
+type Shape struct {
+	// Name is the registry key, e.g. "window".
+	Name string
+	// Description explains which paper figure the shape reproduces.
+	Description string
+	// Poly is the region nodes are deployed in.
+	Poly *geom.Polygon
+}
+
+// Holes returns the number of holes in the field — the number of genuine
+// skeleton loops a homotopy-preserving skeleton must contain.
+func (s Shape) Holes() int {
+	return s.Poly.NumHoles()
+}
+
+// Registry of all shapes, constructed once at package load. The builders are
+// deterministic pure functions of constants, per the "avoid init magic"
+// guidance; building them eagerly keeps ByName allocation-free.
+var registry = buildRegistry()
+
+func buildRegistry() map[string]Shape {
+	all := []Shape{
+		window(),
+		oneHole(),
+		flower(),
+		smile(),
+		music(),
+		airplane(),
+		cactus(),
+		starHole(),
+		spiral(),
+		twoHoles(),
+		star(),
+	}
+	m := make(map[string]Shape, len(all))
+	for _, s := range all {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// ByName returns the shape with the given name.
+func ByName(name string) (Shape, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Shape{}, fmt.Errorf("shapes: unknown shape %q (known: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// MustByName is like ByName but panics on unknown names. Intended for
+// statically known scenario tables.
+func MustByName(name string) Shape {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all registered shape names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered shape, sorted by name.
+func All() []Shape {
+	out := make([]Shape, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// --- ring construction helpers ---
+
+// RectRing returns the axis-aligned rectangle [x0,x1] x [y0,y1] as a ring.
+func RectRing(x0, y0, x1, y1 float64) geom.Ring {
+	return geom.Ring{
+		geom.Pt(x0, y0), geom.Pt(x1, y0), geom.Pt(x1, y1), geom.Pt(x0, y1),
+	}
+}
+
+// CircleRing returns a regular n-gon approximating the circle of radius r
+// around c.
+func CircleRing(c geom.Point, r float64, n int) geom.Ring {
+	if n < 3 {
+		n = 3
+	}
+	out := make(geom.Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = geom.Pt(c.X+r*math.Cos(a), c.Y+r*math.Sin(a))
+	}
+	return out
+}
+
+// StarRing returns a star polygon with the given number of points,
+// alternating between outer and inner radius around c.
+func StarRing(c geom.Point, rOuter, rInner float64, points int) geom.Ring {
+	if points < 3 {
+		points = 3
+	}
+	out := make(geom.Ring, 0, 2*points)
+	for i := 0; i < points; i++ {
+		aOut := 2*math.Pi*float64(i)/float64(points) + math.Pi/2
+		aIn := aOut + math.Pi/float64(points)
+		out = append(out,
+			geom.Pt(c.X+rOuter*math.Cos(aOut), c.Y+rOuter*math.Sin(aOut)),
+			geom.Pt(c.X+rInner*math.Cos(aIn), c.Y+rInner*math.Sin(aIn)),
+		)
+	}
+	return out
+}
+
+// PolarRing samples the polar curve r(theta) around c at n evenly spaced
+// angles.
+func PolarRing(c geom.Point, radius func(theta float64) float64, n int) geom.Ring {
+	if n < 3 {
+		n = 3
+	}
+	out := make(geom.Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		r := radius(a)
+		out[i] = geom.Pt(c.X+r*math.Cos(a), c.Y+r*math.Sin(a))
+	}
+	return out
+}
+
+// ArcBandRing returns the closed band between radii rIn and rOut around c,
+// spanning angles [a0, a1] (radians, a0 < a1), sampled with n points per arc.
+func ArcBandRing(c geom.Point, rIn, rOut, a0, a1 float64, n int) geom.Ring {
+	if n < 2 {
+		n = 2
+	}
+	out := make(geom.Ring, 0, 2*n)
+	for i := 0; i < n; i++ {
+		a := a0 + (a1-a0)*float64(i)/float64(n-1)
+		out = append(out, geom.Pt(c.X+rOut*math.Cos(a), c.Y+rOut*math.Sin(a)))
+	}
+	for i := n - 1; i >= 0; i-- {
+		a := a0 + (a1-a0)*float64(i)/float64(n-1)
+		out = append(out, geom.Pt(c.X+rIn*math.Cos(a), c.Y+rIn*math.Sin(a)))
+	}
+	return out
+}
+
+// --- the eleven fields ---
+
+// window is the Window-shaped network of Fig. 1: a square with a 2x2 grid of
+// square panes (four holes). Its skeleton is a cross plus a surrounding
+// frame with four genuine loops.
+func window() Shape {
+	outer := RectRing(0, 0, 100, 100)
+	holes := []geom.Ring{
+		RectRing(14, 14, 44, 44),
+		RectRing(56, 14, 86, 44),
+		RectRing(14, 56, 44, 86),
+		RectRing(56, 56, 86, 86),
+	}
+	return Shape{
+		Name:        "window",
+		Description: "Fig. 1: square frame with 2x2 panes (4 holes)",
+		Poly:        geom.MustPolygon(outer, holes...),
+	}
+}
+
+// oneHole is Fig. 4(a): a square region with one concave (L-shaped) hole.
+func oneHole() Shape {
+	outer := RectRing(0, 0, 100, 100)
+	hole := geom.Ring{
+		geom.Pt(30, 30), geom.Pt(72, 30), geom.Pt(72, 48),
+		geom.Pt(48, 48), geom.Pt(48, 72), geom.Pt(30, 72),
+	}
+	return Shape{
+		Name:        "onehole",
+		Description: "Fig. 4(a): square with one concave hole",
+		Poly:        geom.MustPolygon(outer, hole),
+	}
+}
+
+// flower is Fig. 4(b): a five-petal flower, no holes.
+func flower() Shape {
+	c := geom.Pt(50, 50)
+	ring := PolarRing(c, func(a float64) float64 {
+		return 30 + 16*math.Cos(5*a)
+	}, 240)
+	return Shape{
+		Name:        "flower",
+		Description: "Fig. 4(b): five-petal flower",
+		Poly:        geom.MustPolygon(ring),
+	}
+}
+
+// smile is Fig. 4(c): a face disk with two eye holes and a mouth-arc hole.
+func smile() Shape {
+	c := geom.Pt(50, 50)
+	outer := CircleRing(c, 46, 180)
+	eyeL := CircleRing(geom.Pt(34, 66), 7, 36)
+	eyeR := CircleRing(geom.Pt(66, 66), 7, 36)
+	// Mouth: an arc band in the lower half of the face, opening upward.
+	mouth := ArcBandRing(c, 21, 30, math.Pi*1.15, math.Pi*1.85, 40)
+	return Shape{
+		Name:        "smile",
+		Description: "Fig. 4(c): face with two eyes and a smile (3 holes)",
+		Poly:        geom.MustPolygon(outer, eyeL, eyeR, mouth),
+	}
+}
+
+// music is Fig. 4(d): an eighth-note silhouette (head, stem, flag).
+func music() Shape {
+	ring := geom.Ring{
+		// right edge of head up to stem bottom
+		geom.Pt(50, 20),
+		// stem right edge up to the flag attachment
+		geom.Pt(50, 66),
+		// flag lower curve, out to the tip
+		geom.Pt(58, 62), geom.Pt(65, 54), geom.Pt(67, 46), geom.Pt(65, 36),
+		// flag outer curve back up-left to stem top
+		geom.Pt(71, 46), geom.Pt(72, 58), geom.Pt(66, 72),
+		geom.Pt(56, 82), geom.Pt(50, 86),
+		// stem top and left edge down to the head
+		geom.Pt(42, 86), geom.Pt(42, 30),
+		// around the head counter-clockwise
+		geom.Pt(34, 32), geom.Pt(24, 30), geom.Pt(16, 23), geom.Pt(14, 15),
+		geom.Pt(20, 8), geom.Pt(31, 5), geom.Pt(41, 7), geom.Pt(48, 12),
+	}
+	return Shape{
+		Name:        "music",
+		Description: "Fig. 4(d): eighth-note silhouette",
+		Poly:        geom.MustPolygon(ring),
+	}
+}
+
+// airplane is Fig. 4(e): a top-view airplane silhouette, symmetric about
+// y=50: fuselage, swept main wings, tailplanes.
+func airplane() Shape {
+	ring := geom.Ring{
+		geom.Pt(94, 50), // nose
+		geom.Pt(87, 55),
+		geom.Pt(60, 57), // wing root, leading edge (top)
+		geom.Pt(40, 87), // wing tip, leading edge
+		geom.Pt(31, 85), // wing tip, trailing edge
+		geom.Pt(44, 56), // wing root, trailing edge
+		geom.Pt(19, 54), // tailplane root, leading edge
+		geom.Pt(8, 69),  // tailplane tip
+		geom.Pt(3, 66),
+		geom.Pt(11, 52), // tailplane trailing edge at fuselage
+		geom.Pt(3, 51),  // tail end
+		geom.Pt(3, 49),
+		geom.Pt(11, 48), // mirror of the top half
+		geom.Pt(3, 34),
+		geom.Pt(8, 31),
+		geom.Pt(19, 46),
+		geom.Pt(44, 44),
+		geom.Pt(31, 15),
+		geom.Pt(40, 13),
+		geom.Pt(60, 43),
+		geom.Pt(87, 45),
+	}
+	return Shape{
+		Name:        "airplane",
+		Description: "Fig. 4(e): top-view airplane silhouette",
+		Poly:        geom.MustPolygon(ring),
+	}
+}
+
+// cactus is Fig. 4(f): a saguaro cactus — vertical trunk with a left and a
+// right arm.
+func cactus() Shape {
+	ring := geom.Ring{
+		geom.Pt(42, 6), // trunk bottom-left, tracing clockwise
+		geom.Pt(42, 46),
+		geom.Pt(26, 46), // left arm, lower edge
+		geom.Pt(20, 51),
+		geom.Pt(20, 74), // left arm tip
+		geom.Pt(32, 74),
+		geom.Pt(32, 58), // left arm, inner edge
+		geom.Pt(42, 58),
+		geom.Pt(42, 88), // trunk upper-left
+		geom.Pt(46, 94), // rounded top
+		geom.Pt(54, 94),
+		geom.Pt(58, 88),
+		geom.Pt(58, 44), // trunk right edge down to right arm
+		geom.Pt(68, 44), // right arm, inner edge
+		geom.Pt(68, 62),
+		geom.Pt(80, 62), // right arm tip
+		geom.Pt(80, 35),
+		geom.Pt(74, 30), // right arm, lower edge
+		geom.Pt(58, 30),
+		geom.Pt(58, 6),
+	}
+	return Shape{
+		Name:        "cactus",
+		Description: "Fig. 4(f): saguaro cactus with two arms",
+		Poly:        geom.MustPolygon(ring),
+	}
+}
+
+// starHole is Fig. 4(g): a square field with a star-shaped hole.
+func starHole() Shape {
+	outer := RectRing(0, 0, 100, 100)
+	hole := StarRing(geom.Pt(50, 50), 30, 13, 5)
+	return Shape{
+		Name:        "starhole",
+		Description: "Fig. 4(g): square with a star-shaped hole",
+		Poly:        geom.MustPolygon(outer, hole),
+	}
+}
+
+// spiral is Fig. 4(h): a spiral corridor (an Archimedean band of 2.5 turns).
+func spiral() Shape {
+	const (
+		width = 10.0 // corridor width
+		gap   = 6.0  // spacing between successive wraps
+		turns = 2.5
+		r0    = 6.0
+	)
+	c := geom.Pt(50, 50)
+	pitch := (width + gap) / (2 * math.Pi)
+	thetaMax := turns * 2 * math.Pi
+	steps := int(thetaMax / 0.08)
+	ring := make(geom.Ring, 0, 2*steps+2)
+	// Inner edge outward.
+	for i := 0; i <= steps; i++ {
+		t := thetaMax * float64(i) / float64(steps)
+		r := r0 + pitch*t
+		ring = append(ring, geom.Pt(c.X+r*math.Cos(t), c.Y+r*math.Sin(t)))
+	}
+	// Outer edge back inward.
+	for i := steps; i >= 0; i-- {
+		t := thetaMax * float64(i) / float64(steps)
+		r := r0 + pitch*t + width
+		ring = append(ring, geom.Pt(c.X+r*math.Cos(t), c.Y+r*math.Sin(t)))
+	}
+	return Shape{
+		Name:        "spiral",
+		Description: "Fig. 4(h): spiral corridor, 2.5 turns",
+		Poly:        geom.MustPolygon(ring),
+	}
+}
+
+// twoHoles is Fig. 4(i): a square region with two round holes.
+func twoHoles() Shape {
+	outer := RectRing(0, 0, 100, 100)
+	h1 := CircleRing(geom.Pt(30, 52), 14, 48)
+	h2 := CircleRing(geom.Pt(71, 48), 14, 48)
+	return Shape{
+		Name:        "twoholes",
+		Description: "Fig. 4(i): square with two holes",
+		Poly:        geom.MustPolygon(outer, h1, h2),
+	}
+}
+
+// star is Fig. 4(j): a five-pointed star region, no holes.
+func star() Shape {
+	ring := StarRing(geom.Pt(50, 50), 48, 20, 5)
+	return Shape{
+		Name:        "star",
+		Description: "Fig. 4(j): five-pointed star",
+		Poly:        geom.MustPolygon(ring),
+	}
+}

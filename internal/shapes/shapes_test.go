@@ -1,0 +1,155 @@
+package shapes
+
+import (
+	"math"
+	"testing"
+
+	"bfskel/internal/geom"
+)
+
+// wantHoles is the paper-given hole count per field.
+var wantHoles = map[string]int{
+	"window":   4,
+	"onehole":  1,
+	"flower":   0,
+	"smile":    3,
+	"music":    0,
+	"airplane": 0,
+	"cactus":   0,
+	"starhole": 1,
+	"spiral":   0,
+	"twoholes": 2,
+	"star":     0,
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(wantHoles) {
+		t.Fatalf("registry has %d shapes, want %d: %v", len(names), len(wantHoles), names)
+	}
+	for name, holes := range wantHoles {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Holes() != holes {
+			t.Errorf("%s: holes = %d, want %d", name, s.Holes(), holes)
+		}
+		if s.Name != name {
+			t.Errorf("%s: Name = %q", name, s.Name)
+		}
+		if s.Description == "" {
+			t.Errorf("%s: empty description", name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("expected error for unknown shape")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName should panic on unknown shape")
+		}
+	}()
+	MustByName("nonesuch")
+}
+
+func TestAllOrdered(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("All() not sorted at %d: %q >= %q", i, all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+// TestShapeGeometryValid checks structural invariants of every field:
+// positive area, holes strictly inside the outer ring, holes pairwise
+// disjoint (verified by sampling), and a non-trivial interior.
+func TestShapeGeometryValid(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			pg := s.Poly
+			if pg.Area() <= 0 {
+				t.Fatalf("area = %v", pg.Area())
+			}
+			for hi, h := range pg.Holes {
+				if h.Area() <= 0 {
+					t.Errorf("hole %d area = %v", hi, h.Area())
+				}
+				for _, p := range h {
+					if !pg.Outer.Contains(p) {
+						t.Errorf("hole %d vertex %v outside outer ring", hi, p)
+					}
+					for hj, other := range pg.Holes {
+						if hj != hi && other.Contains(p) {
+							t.Errorf("hole %d vertex %v inside hole %d", hi, p, hj)
+						}
+					}
+				}
+			}
+			// The interior must accept a decent fraction of bounding-box
+			// samples (sanity against self-intersecting outlines).
+			b := pg.Bounds()
+			inside := 0
+			const grid = 40
+			for i := 0; i < grid; i++ {
+				for j := 0; j < grid; j++ {
+					p := geom.Pt(
+						b.Min.X+(float64(i)+0.5)*b.Width()/grid,
+						b.Min.Y+(float64(j)+0.5)*b.Height()/grid,
+					)
+					if pg.Contains(p) {
+						inside++
+					}
+				}
+			}
+			frac := float64(inside) / (grid * grid)
+			if frac < 0.15 {
+				t.Errorf("only %.0f%% of bbox samples inside; outline may self-intersect", 100*frac)
+			}
+			// Area consistency: ring-formula area vs sampled area.
+			sampled := frac * b.Width() * b.Height()
+			if math.Abs(sampled-pg.Area())/pg.Area() > 0.1 {
+				t.Errorf("sampled area %.0f vs ring area %.0f", sampled, pg.Area())
+			}
+		})
+	}
+}
+
+func TestRingHelpers(t *testing.T) {
+	rect := RectRing(1, 2, 4, 6)
+	if got := rect.Area(); got != 12 {
+		t.Errorf("RectRing area = %v", got)
+	}
+	circ := CircleRing(geom.Pt(0, 0), 10, 100)
+	if got := circ.Area(); math.Abs(got-math.Pi*100)/(math.Pi*100) > 0.01 {
+		t.Errorf("CircleRing area = %v, want ~%v", got, math.Pi*100)
+	}
+	star := StarRing(geom.Pt(0, 0), 10, 4, 5)
+	if len(star) != 10 {
+		t.Errorf("StarRing len = %d", len(star))
+	}
+	if star.Area() <= 0 || star.Area() >= math.Pi*100 {
+		t.Errorf("StarRing area = %v out of range", star.Area())
+	}
+	polar := PolarRing(geom.Pt(0, 0), func(float64) float64 { return 5 }, 64)
+	if got := polar.Area(); math.Abs(got-math.Pi*25)/(math.Pi*25) > 0.02 {
+		t.Errorf("PolarRing const-radius area = %v", got)
+	}
+	band := ArcBandRing(geom.Pt(0, 0), 4, 6, 0, math.Pi, 32)
+	wantBand := math.Pi * (36 - 16) / 2
+	if got := band.Area(); math.Abs(got-wantBand)/wantBand > 0.05 {
+		t.Errorf("ArcBandRing area = %v, want ~%v", got, wantBand)
+	}
+	// Degenerate inputs are clamped, not panics.
+	if got := CircleRing(geom.Pt(0, 0), 1, 2); len(got) != 3 {
+		t.Errorf("CircleRing clamp = %d vertices", len(got))
+	}
+	if got := StarRing(geom.Pt(0, 0), 2, 1, 1); len(got) != 6 {
+		t.Errorf("StarRing clamp = %d vertices", len(got))
+	}
+}

@@ -1,0 +1,200 @@
+// Package simnet is a synchronous round-based message-passing simulator for
+// distributed node programs. Each sensor runs a Program; in every round all
+// messages sent in the previous round are delivered, and each node with a
+// non-empty inbox takes a step. The simulator counts messages and rounds,
+// which backs the complexity measurements of paper Sec. V-A (message
+// complexity O((k+l+1)n), time complexity O(sqrt(n))).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bfskel/internal/graph"
+)
+
+// ErrRoundLimit is returned when a simulation does not quiesce within the
+// configured round budget.
+var ErrRoundLimit = errors.New("simnet: round limit exceeded")
+
+// Envelope is a delivered message.
+type Envelope struct {
+	// From is the sending node's ID.
+	From int
+	// Payload is the protocol-defined message body.
+	Payload any
+}
+
+// Context is handed to a Program during Init and Step; it exposes the node's
+// identity, its neighbor list, and the send primitives.
+type Context struct {
+	sim  *Sim
+	node int
+}
+
+// ID returns the node's ID.
+func (c *Context) ID() int { return c.node }
+
+// Neighbors returns the node's neighbor IDs. The slice is shared and must
+// not be modified.
+func (c *Context) Neighbors() []int32 { return c.sim.g.Neighbors(c.node) }
+
+// Degree returns the node's degree.
+func (c *Context) Degree() int { return c.sim.g.Degree(c.node) }
+
+// Send queues a message to a neighbor for delivery next round. Sending to a
+// non-neighbor is a protocol bug and panics, mirroring the physical
+// impossibility of the radio reaching a non-neighbor.
+func (c *Context) Send(to int, payload any) {
+	if !c.sim.g.HasEdge(c.node, to) {
+		panic(fmt.Sprintf("simnet: node %d sent to non-neighbor %d", c.node, to))
+	}
+	c.sim.post(c.node, to, payload)
+}
+
+// Broadcast queues the payload to every neighbor as a single wireless
+// transmission: it counts one message regardless of the neighbor count,
+// matching the paper's accounting (one flooding retransmission = one
+// message), under which skeleton extraction costs O((k+l+1)n) messages.
+func (c *Context) Broadcast(payload any) {
+	neighbors := c.sim.g.Neighbors(c.node)
+	if len(neighbors) == 0 {
+		return
+	}
+	for _, v := range neighbors {
+		c.sim.deliver(c.node, int(v), payload)
+	}
+	c.sim.stats.Messages++
+}
+
+// Program is a per-node protocol state machine.
+type Program interface {
+	// Init runs once, before round 1; the node may send initial messages.
+	Init(ctx *Context)
+	// Step runs whenever the node has incoming messages; inbox holds all
+	// messages delivered this round, in deterministic (sender, FIFO) order.
+	Step(ctx *Context, inbox []Envelope)
+}
+
+// Stats summarises a finished simulation.
+type Stats struct {
+	// Rounds is the number of synchronous rounds until quiescence.
+	Rounds int
+	// Messages is the total number of node-to-node messages delivered.
+	Messages int
+}
+
+// Sim drives a set of Programs over a connectivity graph.
+type Sim struct {
+	g        *graph.Graph
+	programs []Program
+	inboxes  [][]Envelope
+	pending  map[int][]delivery
+	inFlight int
+	round    int
+	rng      *rand.Rand
+	stats    Stats
+	// MaxRounds bounds the simulation; 0 means 4*N + 64 rounds, generous
+	// for any flood-based protocol on a connected graph.
+	MaxRounds int
+	// Jitter adds a uniform 0..Jitter extra rounds of delay to every
+	// message, breaking the synchrony assumption ("messages travel at
+	// approximately the same speed", Sec. III-B): protocols that carry hop
+	// counters in their payloads must stay correct regardless. 0 keeps the
+	// simulation synchronous.
+	Jitter int
+	// JitterSeed makes jittered runs reproducible.
+	JitterSeed int64
+}
+
+// delivery is an in-flight message with its arrival round.
+type delivery struct {
+	to  int
+	env Envelope
+}
+
+// New creates a simulator. programs must have exactly one entry per graph
+// node.
+func New(g *graph.Graph, programs []Program) (*Sim, error) {
+	if len(programs) != g.N() {
+		return nil, fmt.Errorf("simnet: %d programs for %d nodes", len(programs), g.N())
+	}
+	return &Sim{
+		g:        g,
+		programs: programs,
+		inboxes:  make([][]Envelope, g.N()),
+		pending:  make(map[int][]delivery),
+	}, nil
+}
+
+// post queues a unicast message, counting one transmission.
+func (s *Sim) post(from, to int, payload any) {
+	s.deliver(from, to, payload)
+	s.stats.Messages++
+}
+
+// deliver queues a message without touching the transmission counter. With
+// jitter enabled the arrival is delayed by 0..Jitter extra rounds.
+func (s *Sim) deliver(from, to int, payload any) {
+	arrival := s.round + 1
+	if s.Jitter > 0 {
+		if s.rng == nil {
+			s.rng = rand.New(rand.NewSource(s.JitterSeed))
+		}
+		arrival += s.rng.Intn(s.Jitter + 1)
+	}
+	s.pending[arrival] = append(s.pending[arrival], delivery{to: to, env: Envelope{From: from, Payload: payload}})
+	s.inFlight++
+}
+
+// Run executes Init on every node and then rounds until no messages are in
+// flight (quiescence) or the round budget is exhausted.
+func (s *Sim) Run() (Stats, error) {
+	limit := s.MaxRounds
+	if limit <= 0 {
+		limit = 4*s.g.N() + 64
+	}
+	s.round = 0
+	for v := range s.programs {
+		ctx := Context{sim: s, node: v}
+		s.programs[v].Init(&ctx)
+	}
+	for {
+		if s.inFlight == 0 {
+			s.stats.Rounds = s.round
+			return s.stats, nil
+		}
+		s.round++
+		if s.round > limit {
+			return s.stats, ErrRoundLimit
+		}
+		arrivals := s.pending[s.round]
+		delete(s.pending, s.round)
+		s.inFlight -= len(arrivals)
+		touched := touchedNodes(arrivals, s.inboxes)
+		for _, v := range touched {
+			ctx := Context{sim: s, node: v}
+			s.programs[v].Step(&ctx, s.inboxes[v])
+			s.inboxes[v] = s.inboxes[v][:0]
+		}
+	}
+}
+
+// touchedNodes distributes arrivals into inboxes and returns the receiving
+// node IDs in ascending order (deterministic step order).
+func touchedNodes(arrivals []delivery, inboxes [][]Envelope) []int {
+	var touched []int
+	for _, d := range arrivals {
+		if len(inboxes[d.to]) == 0 {
+			touched = append(touched, d.to)
+		}
+		inboxes[d.to] = append(inboxes[d.to], d.env)
+	}
+	sort.Ints(touched)
+	return touched
+}
+
+// Stats returns the counters accumulated so far.
+func (s *Sim) Stats() Stats { return s.stats }

@@ -1,0 +1,124 @@
+package bfskel
+
+import (
+	"fmt"
+	"io"
+
+	"bfskel/internal/render"
+)
+
+// RenderStage selects which pipeline artifact RenderResult draws.
+type RenderStage int
+
+// Stages available to RenderResult, mirroring the panels of paper Fig. 1
+// and Fig. 3.
+const (
+	// StageNetwork draws the deployment and its links (Fig. 1a).
+	StageNetwork RenderStage = iota + 1
+	// StageSites marks the critical skeleton nodes (Fig. 1b).
+	StageSites
+	// StageSegments marks segment and Voronoi nodes (Fig. 1c).
+	StageSegments
+	// StageCoarse overlays the coarse skeleton (Fig. 1d).
+	StageCoarse
+	// StageFinal overlays the refined skeleton (Fig. 1h).
+	StageFinal
+	// StageCells colors nodes by Voronoi cell (Fig. 3a).
+	StageCells
+	// StageBoundary marks the boundary by-product (Fig. 3b).
+	StageBoundary
+)
+
+// cellPalette colors Voronoi cells; cells cycle through it.
+var cellPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// RenderNetwork writes an SVG of the deployment field, nodes and links.
+func RenderNetwork(net *Network, w io.Writer) error {
+	s := newScene(net)
+	drawLinks(s, net, "#d9d9d9", 0.5)
+	s.Nodes(net.Points, nil, "#555555", 0)
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// RenderResult writes an SVG of one pipeline stage.
+func RenderResult(net *Network, res *Result, stage RenderStage, w io.Writer) error {
+	s := newScene(net)
+	switch stage {
+	case StageNetwork:
+		drawLinks(s, net, "#d9d9d9", 0.5)
+		s.Nodes(net.Points, nil, "#555555", 0)
+	case StageSites:
+		s.Nodes(net.Points, nil, "#cccccc", 0)
+		s.Nodes(net.Points, maskOf(res.Sites, net.N()), "#d62728", 4)
+	case StageSegments:
+		s.Nodes(net.Points, nil, "#cccccc", 0)
+		s.Nodes(net.Points, maskOf(res.SegmentNodes, net.N()), "#1f77b4", 2.5)
+		s.Nodes(net.Points, maskOf(res.VoronoiNodes, net.N()), "#9467bd", 4)
+		s.Nodes(net.Points, maskOf(res.Sites, net.N()), "#d62728", 4)
+	case StageCoarse:
+		s.Nodes(net.Points, nil, "#dddddd", 0)
+		drawSkeleton(s, net, res.Coarse, "#d62728")
+		s.Nodes(net.Points, maskOf(res.Sites, net.N()), "#d62728", 3.5)
+	case StageFinal:
+		s.Nodes(net.Points, nil, "#dddddd", 0)
+		drawSkeleton(s, net, res.Skeleton, "#d62728")
+	case StageCells:
+		for v := 0; v < net.N(); v++ {
+			cell := res.CellOf[v]
+			color := "#cccccc"
+			if cell >= 0 {
+				color = cellPalette[int(cell)%len(cellPalette)]
+			}
+			s.Nodes(net.Points[v:v+1], nil, color, 0)
+		}
+		s.Nodes(net.Points, maskOf(res.Sites, net.N()), "#000000", 4)
+	case StageBoundary:
+		s.Nodes(net.Points, nil, "#dddddd", 0)
+		s.Nodes(net.Points, maskOf(res.Boundary, net.N()), "#2ca02c", 2.5)
+	default:
+		return fmt.Errorf("bfskel: unknown render stage %d", stage)
+	}
+	_, err := s.WriteTo(w)
+	return err
+}
+
+func newScene(net *Network) *render.Scene {
+	return render.NewScene(net.Spec.Shape.Poly.Bounds(), render.DefaultStyle())
+}
+
+func drawLinks(s *render.Scene, net *Network, color string, width float64) {
+	var pairs [][2]int32
+	for v := 0; v < net.N(); v++ {
+		for _, u := range net.Graph.Neighbors(v) {
+			if int32(v) < u {
+				pairs = append(pairs, [2]int32{int32(v), u})
+			}
+		}
+	}
+	s.Edges(net.Points, pairs, color, width)
+}
+
+func drawSkeleton(s *render.Scene, net *Network, sk *Skeleton, color string) {
+	var pairs [][2]int32
+	for _, v := range sk.Nodes() {
+		for _, u := range sk.Neighbors(v) {
+			if v < u {
+				pairs = append(pairs, [2]int32{v, u})
+			}
+		}
+	}
+	s.Edges(net.Points, pairs, color, 2.5)
+	s.Nodes(net.Points, sk.Mask(), color, 2)
+}
+
+func maskOf(ids []int32, n int) []bool {
+	mask := make([]bool, n)
+	for _, v := range ids {
+		mask[v] = true
+	}
+	return mask
+}

@@ -1,0 +1,123 @@
+package bfskel
+
+import (
+	"fmt"
+	"image/color"
+	"io"
+
+	"bfskel/internal/render"
+)
+
+// RenderResultPNG writes one pipeline stage as a PNG bitmap; it mirrors
+// RenderResult for environments without an SVG viewer.
+func RenderResultPNG(net *Network, res *Result, stage RenderStage, w io.Writer) error {
+	r := render.NewRaster(net.Spec.Shape.Poly.Bounds(), 8)
+	for _, ring := range net.Spec.Shape.Poly.Rings() {
+		r.Ring(ring, render.Gray)
+	}
+	switch stage {
+	case StageNetwork:
+		for v := 0; v < net.N(); v++ {
+			for _, u := range net.Graph.Neighbors(v) {
+				if int32(v) < u {
+					r.Line(net.Points[v], net.Points[u], render.Dim)
+				}
+			}
+		}
+		for _, p := range net.Points {
+			r.Dot(p, 1.5, render.Black)
+		}
+	case StageSites:
+		for _, p := range net.Points {
+			r.Dot(p, 1.2, render.Dim)
+		}
+		if res != nil {
+			for _, v := range res.Sites {
+				r.Dot(net.Points[v], 4, render.Red)
+			}
+		}
+	case StageSegments:
+		for _, p := range net.Points {
+			r.Dot(p, 1.2, render.Dim)
+		}
+		if res != nil {
+			for _, v := range res.SegmentNodes {
+				r.Dot(net.Points[v], 2.5, render.Blue)
+			}
+			for _, v := range res.VoronoiNodes {
+				r.Dot(net.Points[v], 4, render.Purple)
+			}
+			for _, v := range res.Sites {
+				r.Dot(net.Points[v], 4, render.Red)
+			}
+		}
+	case StageCoarse, StageFinal:
+		for _, p := range net.Points {
+			r.Dot(p, 1.2, render.Dim)
+		}
+		if res != nil {
+			sk := res.Skeleton
+			if stage == StageCoarse {
+				sk = res.Coarse
+			}
+			for _, v := range sk.Nodes() {
+				for _, u := range sk.Neighbors(v) {
+					if v < u {
+						r.ThickLine(net.Points[v], net.Points[u], 2, render.Red)
+					}
+				}
+				r.Dot(net.Points[v], 2, render.Red)
+			}
+		}
+	case StageBoundary:
+		for _, p := range net.Points {
+			r.Dot(p, 1.2, render.Dim)
+		}
+		if res != nil {
+			for _, v := range res.Boundary {
+				r.Dot(net.Points[v], 2.5, render.Green)
+			}
+		}
+	case StageCells:
+		if res != nil {
+			for v := 0; v < net.N(); v++ {
+				c := render.Dim
+				if cell := res.CellOf[v]; cell >= 0 {
+					pal := cellPalette[int(cell)%len(cellPalette)]
+					c = parseHex(pal)
+				}
+				r.Dot(net.Points[v], 2, c)
+			}
+			for _, v := range res.Sites {
+				r.Dot(net.Points[v], 4, render.Black)
+			}
+		}
+	default:
+		return fmt.Errorf("bfskel: unknown render stage %d", stage)
+	}
+	return r.EncodePNG(w)
+}
+
+// parseHex converts "#rrggbb" to an RGBA color; malformed input yields gray.
+func parseHex(s string) (c color.RGBA) {
+	c.A = 0xff
+	if len(s) != 7 || s[0] != '#' {
+		c.R, c.G, c.B = 0x80, 0x80, 0x80
+		return c
+	}
+	hex := func(b byte) uint8 {
+		switch {
+		case b >= '0' && b <= '9':
+			return b - '0'
+		case b >= 'a' && b <= 'f':
+			return b - 'a' + 10
+		case b >= 'A' && b <= 'F':
+			return b - 'A' + 10
+		}
+		return 0
+	}
+	c.R = hex(s[1])<<4 | hex(s[2])
+	c.G = hex(s[3])<<4 | hex(s[4])
+	c.B = hex(s[5])<<4 | hex(s[6])
+	return c
+}
