@@ -8,7 +8,9 @@
 // positions. Network boundaries and a segmentation of the network are
 // produced as by-products, exactly as in the paper.
 //
-// The typical flow is:
+// The typical flow builds a network once and runs the staged extraction
+// engine over it; the engine pools its scratch state, so hold on to it when
+// extracting more than once (parameter sweeps, repeated runs):
 //
 //	shape := bfskel.MustShape("window")
 //	net, err := bfskel.BuildNetwork(bfskel.NetworkSpec{
@@ -17,8 +19,14 @@
 //	    TargetDeg: 6,
 //	    Seed:      1,
 //	})
-//	res, err := net.Extract(bfskel.DefaultParams())
+//	x := net.Extractor()
+//	res, err := x.Extract(bfskel.DefaultParams())
 //	fmt.Println(res.Skeleton.NumNodes(), res.Skeleton.CycleRank())
+//	fmt.Println(res.Stats) // per-phase wall time and pipeline counters
+//
+// One-shot callers can keep using the equivalent net.Extract(params);
+// batches over many networks or parameter sets go through ExtractBatch,
+// which amortizes one engine across all runs.
 //
 // Everything underneath lives in internal packages; this package is the
 // supported API surface.
@@ -45,6 +53,15 @@ type (
 	Params = core.Params
 	// Result carries every artifact of an extraction run.
 	Result = core.Result
+	// Extractor is the staged extraction engine: it pools scratch state
+	// (BFS buffers, Walkers, per-node arrays) across runs and instruments
+	// every phase. Create one per goroutine via Network.Extractor.
+	Extractor = core.Extractor
+	// Stats instruments one extraction run: per-phase wall time, BFS and
+	// flood counts, guard adjustments, and outcome counters.
+	Stats = core.Stats
+	// PhaseStats is one named stage's timing inside Stats.
+	PhaseStats = core.PhaseStats
 	// Skeleton is the node-level skeleton graph.
 	Skeleton = core.Skeleton
 	// SiteEdge is a coarse-skeleton connection between two sites.
@@ -245,7 +262,37 @@ func (n *Network) N() int { return n.Graph.N() }
 // AvgDegree returns the realised average node degree.
 func (n *Network) AvgDegree() float64 { return n.Graph.AvgDegree() }
 
-// Extract runs the boundary-free skeleton extraction pipeline.
+// Extract runs the boundary-free skeleton extraction pipeline. It is the
+// one-shot form of the staged engine — equivalent to
+// n.Extractor().Extract(p) — and pays the engine's cold-start allocations
+// every call; repeated extractions should reuse one Extractor.
 func (n *Network) Extract(p Params) (*Result, error) {
 	return core.Extract(n.Graph, p)
+}
+
+// Extractor returns a staged extraction engine bound to the network's
+// graph. The engine reuses its scratch pools across Extract calls (every
+// returned Result stays independent of the engine), but is not safe for
+// concurrent use — create one per goroutine.
+func (n *Network) Extractor() *Extractor {
+	return core.NewExtractor(n.Graph)
+}
+
+// BatchItem is one extraction of a batch: a network plus its parameters.
+type BatchItem struct {
+	Network *Network
+	Params  Params
+}
+
+// ExtractBatch runs every item through a single pooled extraction engine,
+// amortizing scratch allocations across many networks and parameter sets
+// (the experiment harness's sweeps run through this). Consecutive items on
+// the same network reuse the full pool, so group items by network. It
+// fails fast on the first erroring item.
+func ExtractBatch(items []BatchItem) ([]*Result, error) {
+	jobs := make([]core.BatchJob, len(items))
+	for i, it := range items {
+		jobs[i] = core.BatchJob{G: it.Network.Graph, P: it.Params}
+	}
+	return core.ExtractBatch(jobs)
 }

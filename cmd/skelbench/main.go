@@ -7,16 +7,19 @@
 //
 // Usage:
 //
-//	skelbench            # run every experiment
-//	skelbench -fig fig5  # run one experiment
-//	skelbench -seed 7    # change the deployment seed
+//	skelbench                 # run every experiment
+//	skelbench -fig fig5       # run one experiment
+//	skelbench -seed 7         # change the deployment seed
+//	skelbench -json out.json  # also dump rows (with per-phase stats) as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bfskel"
 )
@@ -28,10 +31,24 @@ func main() {
 	}
 }
 
+// figureDump is one experiment's rows in the machine-readable report.
+type figureDump struct {
+	Figure string                 `json:"figure"`
+	Rows   []bfskel.ExperimentRow `json:"rows"`
+}
+
+// report is the top-level JSON document written by -json.
+type report struct {
+	Date    string       `json:"date"`
+	Seed    int64        `json:"seed"`
+	Figures []figureDump `json:"figures"`
+}
+
 func run() error {
 	var (
-		fig  = flag.String("fig", "", "experiment to run (empty = all); one of "+strings.Join(bfskel.FigureNames(), ", "))
-		seed = flag.Int64("seed", 1, "deployment/link seed")
+		fig      = flag.String("fig", "", "experiment to run (empty = all); one of "+strings.Join(bfskel.FigureNames(), ", "))
+		seed     = flag.Int64("seed", 1, "deployment/link seed")
+		jsonPath = flag.String("json", "", "write all rows (including per-phase stats) as JSON")
 	)
 	flag.Parse()
 
@@ -39,6 +56,7 @@ func run() error {
 	if *fig != "" {
 		figures = []string{*fig}
 	}
+	rep := report{Date: time.Now().UTC().Format(time.RFC3339), Seed: *seed}
 	for _, f := range figures {
 		rows, err := bfskel.RunFigure(f, *seed)
 		if err != nil {
@@ -48,6 +66,17 @@ func run() error {
 		for _, r := range rows {
 			fmt.Println(" ", r)
 		}
+		rep.Figures = append(rep.Figures, figureDump{Figure: f, Rows: rows})
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonPath)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"bfskel"
 )
@@ -95,7 +96,9 @@ func run() error {
 	params := bfskel.DefaultParams()
 	params.K, params.L = *k, *l
 	params.LocalMaxScope = *scope
-	res, err := net.Extract(params)
+	engine := net.Extractor()
+	engine.CollectMemStats = true
+	res, err := engine.Extract(params)
 	if err != nil {
 		return err
 	}
@@ -110,6 +113,18 @@ func run() error {
 		res.Skeleton.NumNodes(), res.Skeleton.CycleRank(), res.Skeleton.Components(), shape.Holes())
 	fmt.Printf("loops: %d fake deleted, %d genuine kept; boundary nodes=%d\n",
 		res.NumFakeLoops(), res.NumGenuineLoops(), len(res.Boundary))
+	if st := res.Stats; st != nil {
+		fmt.Println("phase timings:")
+		for _, ph := range st.Phases {
+			fmt.Printf("  %-9s %10s  %8.1f KB\n",
+				ph.Name, ph.Duration.Round(time.Microsecond), float64(ph.BytesAlloc)/1024)
+		}
+		fmt.Printf("  %-9s %10s\n", "total", st.Total.Round(time.Microsecond))
+		fmt.Printf("work: bfs=%d floods=%d electionRounds=%d kEff=%d scopeEff=%d (adjusted %d/%d) medianKhop=%d pruned=%d\n",
+			st.BFSSweeps, st.Floods, st.ElectionRounds,
+			res.EffectiveK, res.EffectiveScope, st.KAdjustments, st.ScopeAdjustments,
+			st.MedianKHopBall, st.PrunedNodes)
+	}
 
 	if *jsonPath != "" {
 		if err := writeStage(*jsonPath, func(f *os.File) error {

@@ -54,6 +54,9 @@ type ExperimentRow struct {
 	Messages, Rounds int
 	// Notes carries experiment-specific extras.
 	Notes string
+	// Stats carries the extraction run's per-phase instrumentation (nil
+	// for rows not produced by the staged engine, e.g. baselines).
+	Stats *Stats `json:",omitempty"`
 }
 
 // String renders the row for the text harness.
@@ -196,6 +199,7 @@ func rowFor(sc Scenario, net *Network, res *Result) ExperimentRow {
 		ClearanceRatio:   clr,
 		MedialCoverage:   rep.MedialCoverage,
 		MeanDistToMedial: rep.MeanDistToMedial,
+		Stats:            res.Stats,
 	}
 }
 
@@ -422,19 +426,34 @@ func runComplexity(seed int64) ([]ExperimentRow, error) {
 }
 
 func runParams(seed int64) ([]ExperimentRow, error) {
-	var rows []ExperimentRow
-	for _, kl := range []int{2, 3, 4, 5, 6} {
-		sc := Fig1Scenario()
-		sc.Figure = "params"
+	// One Fig. 1 network serves every parameter point (the deployment does
+	// not depend on K/L), so the sweep runs as a batch over one pooled
+	// extraction engine.
+	base := Fig1Scenario()
+	base.Figure = "params"
+	net, err := BuildScenario(base, seed)
+	if err != nil {
+		return nil, err
+	}
+	kls := []int{2, 3, 4, 5, 6}
+	scs := make([]Scenario, len(kls))
+	items := make([]BatchItem, len(kls))
+	for i, kl := range kls {
+		sc := base
 		sc.Name = fmt.Sprintf("window-k%d-l%d", kl, kl)
 		params := DefaultParams()
 		params.K, params.L = kl, kl
 		sc.Params = params
-		net, res, err := RunScenario(sc, seed)
-		if err != nil {
-			return rows, err
-		}
-		rows = append(rows, rowFor(sc, net, res))
+		scs[i] = sc
+		items[i] = BatchItem{Network: net, Params: params}
+	}
+	results, err := ExtractBatch(items)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExperimentRow, len(results))
+	for i, res := range results {
+		rows[i] = rowFor(scs[i], net, res)
 	}
 	return rows, nil
 }
@@ -519,34 +538,32 @@ func inflation(before, after int) float64 {
 // per-experiment index): the segment-node slack Alpha, the local-maximum
 // scope, and branch pruning.
 func runAblation(seed int64) ([]ExperimentRow, error) {
-	var rows []ExperimentRow
-	run := func(name string, mutate func(*Params)) error {
-		sc := Fig1Scenario()
-		sc.Figure = "ablation"
+	// Every knob variant runs on the same Fig. 1 network, so the whole
+	// ablation is one batch over one pooled extraction engine.
+	base := Fig1Scenario()
+	base.Figure = "ablation"
+	net, err := BuildScenario(base, seed)
+	if err != nil {
+		return nil, err
+	}
+	var scs []Scenario
+	var items []BatchItem
+	add := func(name string, mutate func(*Params)) {
+		sc := base
 		sc.Name = name
 		params := DefaultParams()
 		mutate(&params)
 		sc.Params = params
-		net, res, err := RunScenario(sc, seed)
-		if err != nil {
-			return err
-		}
-		row := rowFor(sc, net, res)
-		row.Notes = fmt.Sprintf("segment=%d edges=%d", len(res.SegmentNodes), len(res.Edges))
-		rows = append(rows, row)
-		return nil
+		scs = append(scs, sc)
+		items = append(items, BatchItem{Network: net, Params: params})
 	}
 	for _, alpha := range []int32{0, 1, 2} {
 		a := alpha
-		if err := run(fmt.Sprintf("alpha=%d", a), func(p *Params) { p.Alpha = a }); err != nil {
-			return rows, err
-		}
+		add(fmt.Sprintf("alpha=%d", a), func(p *Params) { p.Alpha = a })
 	}
 	for _, scope := range []int{2, 3, 4, 5} {
 		sc := scope
-		if err := run(fmt.Sprintf("scope=%d", sc), func(p *Params) { p.LocalMaxScope = sc }); err != nil {
-			return rows, err
-		}
+		add(fmt.Sprintf("scope=%d", sc), func(p *Params) { p.LocalMaxScope = sc })
 	}
 	for _, prune := range []int{1, 0, 8} { // 1 = no pruning, 0 = auto, 8 = aggressive
 		pl := prune
@@ -554,9 +571,17 @@ func runAblation(seed int64) ([]ExperimentRow, error) {
 		if pl == 0 {
 			name = "prune=auto"
 		}
-		if err := run(name, func(p *Params) { p.PruneLen = pl }); err != nil {
-			return rows, err
-		}
+		add(name, func(p *Params) { p.PruneLen = pl })
+	}
+	results, err := ExtractBatch(items)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExperimentRow, len(results))
+	for i, res := range results {
+		row := rowFor(scs[i], net, res)
+		row.Notes = fmt.Sprintf("segment=%d edges=%d", len(res.SegmentNodes), len(res.Edges))
+		rows[i] = row
 	}
 	return rows, nil
 }

@@ -21,43 +21,19 @@ var ErrNoSites = errors.New("core: no critical skeleton nodes identified")
 // graph and returns every intermediate and final artifact. The graph should
 // be connected; on a disconnected graph each component containing a site is
 // processed and the rest is left unassigned.
+//
+// This is the one-shot compatibility form of the staged engine: it builds a
+// throwaway Extractor per call. Callers running many extractions should
+// hold one Extractor (or use ExtractBatch) so the scratch pools amortize.
 func Extract(g *graph.Graph, p Params) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if g.N() == 0 {
-		return nil, ErrEmptyGraph
-	}
-
-	// Phase 1: skeleton node identification (Sec. III-A).
-	khop, cent, index, sites, kEff, scopeEff := identify(g, p)
-	if len(sites) == 0 {
-		return nil, ErrNoSites
-	}
-
-	// Phase 2: Voronoi cell construction (Sec. III-B).
-	cellOf, distToSite, records := voronoi(g, sites, p.Alpha)
-
-	res := &Result{
-		Params:         p,
-		EffectiveK:     kEff,
-		EffectiveScope: scopeEff,
-		KHopSize:       khop,
-		LCentrality:    cent,
-		Index:          index,
-		Sites:          sites,
-		CellOf:         cellOf,
-		DistToSite:     distToSite,
-		Records:        records,
-	}
-	completePipeline(g, res)
-	return res, nil
+	return NewExtractor(g).Extract(p)
 }
 
 // CompleteFromVoronoi runs phases 3-4 (coarse skeleton establishment and
 // final clean-up) plus the by-products on top of externally computed
 // phase 1-2 artifacts — typically the outputs of the distributed protocols
-// in package protocol — turning them into a full extraction result.
+// in package protocol — turning them into a full extraction result. The
+// attached Stats instruments only the stages that ran.
 //
 // khop and index must cover every node; sites must be the elected critical
 // skeleton nodes; records the per-node Voronoi records with reverse-path
@@ -108,45 +84,33 @@ func CompleteFromVoronoi(g *graph.Graph, p Params, khop []int, index []float64,
 		DistToSite:     distToSite,
 		Records:        records,
 	}
-	completePipeline(g, res)
+	rs := &runState{e: NewExtractor(g), g: g, p: p, res: res, stats: newStats()}
+	rs.stats.Sites = len(sites)
+	if err := rs.runStages(stages[2:]); err != nil {
+		return nil, err
+	}
 	return res, nil
-}
-
-// completePipeline fills phases 3-4 and the by-products of a result whose
-// phase 1-2 fields are already populated.
-func completePipeline(g *graph.Graph, res *Result) {
-	res.SegmentNodes, res.VoronoiNodes = specialNodes(res.Records)
-
-	// Phase 3: coarse skeleton establishment (Sec. III-C).
-	res.Edges, res.Coarse = coarse(g, res.Index, res.Records)
-
-	// Phase 4: final clean-up (Sec. III-D).
-	res.Loops, res.Skeleton = refine(g, res.Params, res.Index, res.Records,
-		res.CellOf, res.Edges, res.Coarse)
-
-	// By-product: network boundaries (Sec. III-E) from the neighborhood
-	// statistics computed in Phase 1.
-	res.Boundary = boundaryByProduct(g, res.Params, res.KHopSize)
 }
 
 // boundaryByProduct classifies boundary nodes from the K-hop neighborhood
 // sizes: nodes close to a boundary see markedly fewer K-hop neighbors than
 // interior nodes (the observation of Fekete et al. the paper builds on).
 // A node is a boundary node when its K-hop size is below boundaryFraction
-// of the component median.
-func boundaryByProduct(g *graph.Graph, p Params, khop []int) []int32 {
+// of the component median. The sort runs over the engine's scratch buffer.
+func (e *Extractor) boundaryByProduct(khop []int) []int32 {
 	const boundaryFraction = 0.85
 	if len(khop) == 0 {
 		return nil
 	}
-	sorted := make([]int, len(khop))
+	e.ints = growInts(e.ints, len(khop))
+	sorted := e.ints
 	copy(sorted, khop)
 	sort.Ints(sorted)
 	median := float64(sorted[len(sorted)/2])
 	cut := boundaryFraction * median
 	var out []int32
 	for v, s := range khop {
-		if float64(s) < cut && g.Degree(v) > 0 {
+		if float64(s) < cut && e.g.Degree(v) > 0 {
 			out = append(out, int32(v))
 		}
 	}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bfskel/internal/graph"
+)
+
+// Extractor is the staged extraction engine: it runs the pipeline stages
+// Identify → Voronoi → Coarse → Refine → Boundary over one graph while
+// owning every piece of reusable scratch state — the ball-size matrix, BFS
+// distance/stamp/queue buffers, a Walker pool, per-node flag arrays sized
+// to the graph — so repeated extractions (parameter sweeps, the experiment
+// harness, benchmarks) stop paying the allocation cost of a cold start.
+//
+// Reuse contract: an Extractor is NOT safe for concurrent use; run one
+// extraction at a time per engine and create several engines for
+// parallelism (they share nothing). Every *Result it returns is fully
+// independent — no Result field aliases engine scratch — so results stay
+// valid across later Extract and Bind calls and across engine disposal.
+type Extractor struct {
+	g *graph.Graph
+
+	// CollectMemStats enables per-phase allocation accounting
+	// (Stats.Phases[i].BytesAlloc) via runtime.ReadMemStats. Off by
+	// default: the read is stop-the-world and would distort benchmarks.
+	CollectMemStats bool
+
+	walkers *sync.Pool // of *graph.Walker bound to g
+
+	// Reusable scratch; none of it escapes into results.
+	ballsFlat []int    // n*maxR cumulative ball sizes (identify)
+	balls     [][]int  // row views into ballsFlat
+	ints      []int    // median / boundary sort scratch
+	bools     []bool   // electSites maximality flags
+	vorDist   []int32  // voronoi: per-site BFS distances
+	vorStamp  []int32  // voronoi: visit stamps
+	vorParent []int32  // voronoi: reverse-path parents
+	vorQueue  []int32  // voronoi: BFS queue
+}
+
+// NewExtractor creates a staged engine bound to g. The scratch pools are
+// filled lazily on first use.
+func NewExtractor(g *graph.Graph) *Extractor {
+	e := &Extractor{}
+	e.rebind(g)
+	return e
+}
+
+// Bind re-targets the engine at a different graph, keeping whatever
+// scratch capacity carries over (buffers only grow). Binding the current
+// graph is a no-op, preserving the Walker pool.
+func (e *Extractor) Bind(g *graph.Graph) {
+	if e.g != g {
+		e.rebind(g)
+	}
+}
+
+func (e *Extractor) rebind(g *graph.Graph) {
+	e.g = g
+	// Walkers hold per-graph buffers; a graph change invalidates the pool.
+	e.walkers = &sync.Pool{New: func() any { return graph.NewWalker(g) }}
+}
+
+// Graph returns the graph the engine is bound to.
+func (e *Extractor) Graph() *graph.Graph { return e.g }
+
+func (e *Extractor) getWalker() *graph.Walker  { return e.walkers.Get().(*graph.Walker) }
+func (e *Extractor) putWalker(w *graph.Walker) { e.walkers.Put(w) }
+
+// Extract runs the full staged pipeline and returns the result with its
+// instrumentation attached (Result.Stats).
+func (e *Extractor) Extract(p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e.g.N() == 0 {
+		return nil, ErrEmptyGraph
+	}
+	rs := &runState{e: e, g: e.g, p: p, res: &Result{Params: p}, stats: newStats()}
+	if err := rs.runStages(stages); err != nil {
+		return nil, err
+	}
+	return rs.res, nil
+}
+
+// BatchJob is one extraction of a batch: a graph plus its parameters.
+type BatchJob struct {
+	G *graph.Graph
+	P Params
+}
+
+// ExtractBatch runs every job through a single pooled engine, amortizing
+// scratch allocations across many networks and parameter sets. Jobs over
+// the same *graph.Graph reuse the full pool (including Walkers); a graph
+// change rebinds the engine and only carries the buffer capacity over, so
+// ordering jobs by graph maximises reuse. It fails fast on the first
+// erroring job.
+func ExtractBatch(jobs []BatchJob) ([]*Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	e := NewExtractor(jobs[0].G)
+	out := make([]*Result, len(jobs))
+	for i, job := range jobs {
+		e.Bind(job.G)
+		res, err := e.Extract(job.P)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch job %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// stage is one named phase of the staged engine.
+type stage interface {
+	name() string
+	run(rs *runState) error
+}
+
+// stages is the full pipeline in execution order. CompleteFromVoronoi
+// enters at coarseStage with externally computed phase 1-2 artifacts.
+var stages = []stage{
+	identifyStage{}, voronoiStage{}, coarseStage{}, refineStage{}, boundaryStage{},
+}
+
+// runState carries one extraction through the stage pipeline.
+type runState struct {
+	e     *Extractor
+	g     *graph.Graph
+	p     Params
+	res   *Result
+	stats *Stats
+}
+
+func newStats() *Stats {
+	return &Stats{Phases: make([]PhaseStats, 0, len(stages))}
+}
+
+// runStages executes the given pipeline suffix, timing each stage, and
+// attaches the stats to the result.
+func (rs *runState) runStages(todo []stage) error {
+	start := time.Now()
+	for _, st := range todo {
+		if err := rs.runStage(st); err != nil {
+			return err
+		}
+	}
+	rs.stats.Total = time.Since(start)
+	rs.res.Stats = rs.stats
+	return nil
+}
+
+func (rs *runState) runStage(st stage) error {
+	var before runtime.MemStats
+	if rs.e.CollectMemStats {
+		runtime.ReadMemStats(&before)
+	}
+	t0 := time.Now()
+	err := st.run(rs)
+	ps := PhaseStats{Name: st.name(), Duration: time.Since(t0)}
+	if rs.e.CollectMemStats {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		ps.BytesAlloc = after.TotalAlloc - before.TotalAlloc
+	}
+	rs.stats.Phases = append(rs.stats.Phases, ps)
+	return err
+}
+
+// identifyStage is Phase 1 (Sec. III-A): neighborhood statistics and site
+// election.
+type identifyStage struct{}
+
+func (identifyStage) name() string { return "identify" }
+
+func (identifyStage) run(rs *runState) error {
+	khop, cent, index, sites, kEff, scopeEff := rs.e.identify(rs.p, rs.stats)
+	if len(sites) == 0 {
+		return ErrNoSites
+	}
+	rs.res.EffectiveK = kEff
+	rs.res.EffectiveScope = scopeEff
+	rs.res.KHopSize = khop
+	rs.res.LCentrality = cent
+	rs.res.Index = index
+	rs.res.Sites = sites
+	rs.stats.Sites = len(sites)
+	return nil
+}
+
+// voronoiStage is Phase 2 (Sec. III-B): cell construction with
+// almost-equidistant records.
+type voronoiStage struct{}
+
+func (voronoiStage) name() string { return "voronoi" }
+
+func (voronoiStage) run(rs *runState) error {
+	rs.res.CellOf, rs.res.DistToSite, rs.res.Records =
+		rs.e.voronoi(rs.res.Sites, rs.p.Alpha, rs.stats)
+	return nil
+}
+
+// coarseStage is Phase 3 (Sec. III-C): connecting adjacent cells through
+// max-index segment nodes.
+type coarseStage struct{}
+
+func (coarseStage) name() string { return "coarse" }
+
+func (coarseStage) run(rs *runState) error {
+	res := rs.res
+	res.SegmentNodes, res.VoronoiNodes = specialNodes(res.Records)
+	res.Edges, res.Coarse = coarse(rs.g, res.Index, res.Records)
+	rs.stats.SegmentNodes = len(res.SegmentNodes)
+	rs.stats.VoronoiNodes = len(res.VoronoiNodes)
+	rs.stats.Edges = len(res.Edges)
+	return nil
+}
+
+// refineStage is Phase 4 (Sec. III-D): loop classification and pruning.
+type refineStage struct{}
+
+func (refineStage) name() string { return "refine" }
+
+func (refineStage) run(rs *runState) error {
+	res := rs.res
+	res.Loops, res.Skeleton = refine(rs.g, rs.p, res.Index, res.Records,
+		res.CellOf, res.Edges, res.Coarse, rs.stats)
+	rs.stats.FakeLoops = res.NumFakeLoops()
+	rs.stats.GenuineLoops = res.NumGenuineLoops()
+	return nil
+}
+
+// boundaryStage computes the boundary by-product (Sec. III-E) from the
+// Phase 1 neighborhood statistics.
+type boundaryStage struct{}
+
+func (boundaryStage) name() string { return "boundary" }
+
+func (boundaryStage) run(rs *runState) error {
+	rs.res.Boundary = rs.e.boundaryByProduct(rs.res.KHopSize)
+	rs.stats.BoundaryNodes = len(rs.res.Boundary)
+	return nil
+}
+
+// Scratch growth helpers: keep capacity, reallocate only when the bound
+// graph outgrew the buffer.
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growInt32s(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}

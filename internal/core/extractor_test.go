@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bfskel/internal/nettest"
+)
+
+// TestExtractorStats checks that the staged engine instruments every phase
+// and that the work counters agree with the result it produced.
+func TestExtractorStats(t *testing.T) {
+	net := nettest.Grid("window", 800, 7, 3)
+	x := NewExtractor(net.Graph)
+	x.CollectMemStats = true
+	res, err := x.Extract(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st == nil {
+		t.Fatal("Result.Stats is nil after an engine run")
+	}
+
+	wantPhases := []string{"identify", "voronoi", "coarse", "refine", "boundary"}
+	if len(st.Phases) != len(wantPhases) {
+		t.Fatalf("got %d phases, want %d: %+v", len(st.Phases), len(wantPhases), st.Phases)
+	}
+	for i, name := range wantPhases {
+		ph := st.Phases[i]
+		if ph.Name != name {
+			t.Errorf("phase %d is %q, want %q", i, ph.Name, name)
+		}
+		if ph.Duration <= 0 {
+			t.Errorf("phase %q has non-positive duration %v", ph.Name, ph.Duration)
+		}
+		if got, ok := st.Phase(name); !ok || got.Name != name {
+			t.Errorf("Phase(%q) lookup failed (ok=%v)", name, ok)
+		}
+	}
+	if st.Total <= 0 {
+		t.Errorf("total duration %v, want > 0", st.Total)
+	}
+
+	if st.Sites != len(res.Sites) {
+		t.Errorf("Stats.Sites = %d, want len(res.Sites) = %d", st.Sites, len(res.Sites))
+	}
+	if want := len(res.Sites) + 1; st.Floods != want {
+		t.Errorf("Stats.Floods = %d, want joint flood + one per site = %d", st.Floods, want)
+	}
+	if st.BFSSweeps < net.Graph.N() {
+		t.Errorf("Stats.BFSSweeps = %d, want at least one ball sweep per node (%d)",
+			st.BFSSweeps, net.Graph.N())
+	}
+	if st.ElectionRounds < 1 {
+		t.Errorf("Stats.ElectionRounds = %d, want >= 1", st.ElectionRounds)
+	}
+	if st.MedianKHopBall <= 0 {
+		t.Errorf("Stats.MedianKHopBall = %d, want > 0", st.MedianKHopBall)
+	}
+	if st.SegmentNodes != len(res.SegmentNodes) {
+		t.Errorf("Stats.SegmentNodes = %d, want %d", st.SegmentNodes, len(res.SegmentNodes))
+	}
+	if st.VoronoiNodes != len(res.VoronoiNodes) {
+		t.Errorf("Stats.VoronoiNodes = %d, want %d", st.VoronoiNodes, len(res.VoronoiNodes))
+	}
+	if st.Edges != len(res.Edges) {
+		t.Errorf("Stats.Edges = %d, want %d", st.Edges, len(res.Edges))
+	}
+	if st.FakeLoops != res.NumFakeLoops() {
+		t.Errorf("Stats.FakeLoops = %d, want %d", st.FakeLoops, res.NumFakeLoops())
+	}
+	if st.GenuineLoops != res.NumGenuineLoops() {
+		t.Errorf("Stats.GenuineLoops = %d, want %d", st.GenuineLoops, res.NumGenuineLoops())
+	}
+	if st.BoundaryNodes != len(res.Boundary) {
+		t.Errorf("Stats.BoundaryNodes = %d, want %d", st.BoundaryNodes, len(res.Boundary))
+	}
+	if st.String() == "" {
+		t.Error("Stats.String() is empty")
+	}
+}
+
+// TestExtractorResultsIndependent checks the reuse contract at the data
+// level: arrays of a previous result must not be overwritten by a later run
+// on the same engine.
+func TestExtractorResultsIndependent(t *testing.T) {
+	net := nettest.Grid("window", 500, 7, 2)
+	x := NewExtractor(net.Graph)
+	first, err := x.Extract(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot a few arrays, rerun, and compare.
+	khop := append([]int(nil), first.KHopSize...)
+	cellOf := append([]int32(nil), first.CellOf...)
+	recLens := make([]int, len(first.Records))
+	for v, r := range first.Records {
+		recLens[v] = len(r)
+	}
+
+	p := DefaultParams()
+	p.K, p.L = 3, 3
+	if _, err := x.Extract(p); err != nil {
+		t.Fatal(err)
+	}
+
+	for v := range khop {
+		if first.KHopSize[v] != khop[v] {
+			t.Fatalf("KHopSize[%d] changed from %d to %d after a later engine run",
+				v, khop[v], first.KHopSize[v])
+		}
+		if first.CellOf[v] != cellOf[v] {
+			t.Fatalf("CellOf[%d] changed from %d to %d after a later engine run",
+				v, cellOf[v], first.CellOf[v])
+		}
+		if len(first.Records[v]) != recLens[v] {
+			t.Fatalf("Records[%d] length changed from %d to %d after a later engine run",
+				v, recLens[v], len(first.Records[v]))
+		}
+	}
+}
+
+// TestExtractBatchErrors checks the fail-fast contract and job indexing.
+func TestExtractBatchErrors(t *testing.T) {
+	net := nettest.Grid("window", 300, 7, 1)
+	good := DefaultParams()
+	bad := DefaultParams()
+	bad.K = -1
+	_, err := ExtractBatch([]BatchJob{
+		{G: net.Graph, P: good},
+		{G: net.Graph, P: bad},
+	})
+	if err == nil {
+		t.Fatal("batch with an invalid job succeeded")
+	}
+	if want := "batch job 1"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the failing job (%q)", err, want)
+	}
+}

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
 	"bfskel/internal/graph"
 )
@@ -18,23 +16,38 @@ const (
 	scopeSaturationFraction = 1.0 / 6
 )
 
+// identify runs Phase 1 (Sec. III-A) through a throwaway engine; the staged
+// pipeline calls the Extractor method below so the scratch pools persist.
+func identify(g *graph.Graph, p Params) (khop []int, cent []float64, index []float64, sites []int32, kEff, scopeEff int) {
+	return NewExtractor(g).identify(p, nil)
+}
+
 // identify runs Phase 1 (Sec. III-A): every node computes its K-hop
 // neighborhood size, its L-centrality and its index; nodes whose index is
 // locally maximal within the scope radius become critical skeleton nodes.
+// st, when non-nil, accumulates the phase's work counters.
 //
 // This is the centralized analogue of the two rounds of controlled
 // flooding; package protocol implements the same computation as true node
 // programs and the two are cross-checked in tests.
-func identify(g *graph.Graph, p Params) (khop []int, cent []float64, index []float64, sites []int32, kEff, scopeEff int) {
+func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, index []float64, sites []int32, kEff, scopeEff int) {
+	g := e.g
 	n := g.N()
 	maxR := p.K
 	if s := p.Scope(); s > maxR {
 		maxR = s
 	}
-	balls := g.AllBallSizes(maxR)
+	balls := e.ballSizes(maxR)
 
-	kEff = effectiveRadius(balls, p.K, kSaturationFraction)
-	scopeEff = effectiveRadius(balls, p.Scope(), scopeSaturationFraction)
+	var medianK int
+	kEff, medianK = effectiveRadius(balls, p.K, kSaturationFraction, &e.ints)
+	scopeEff, _ = effectiveRadius(balls, p.Scope(), scopeSaturationFraction, &e.ints)
+	if st != nil {
+		st.BFSSweeps += n
+		st.MedianKHopBall = medianK
+		st.KAdjustments += p.K - kEff
+		st.ScopeAdjustments += p.Scope() - scopeEff
+	}
 
 	khop = make([]int, n)
 	for v := range khop {
@@ -49,20 +62,32 @@ func identify(g *graph.Graph, p Params) (khop []int, cent []float64, index []flo
 	if m := n / 512; m > minSites {
 		minSites = m
 	}
+	cent = make([]float64, n)
+	index = make([]float64, n)
 	for {
-		cent, index = indexField(g, p, khop)
-		sites = electSites(g, index, scopeEff)
+		e.indexField(p, khop, cent, index)
+		sites = e.electSites(index, scopeEff)
+		if st != nil {
+			st.ElectionRounds++
+			st.BFSSweeps += 2 * n
+		}
 		if len(sites) >= minSites {
 			break
 		}
 		switch {
 		case scopeEff > 1:
 			scopeEff--
+			if st != nil {
+				st.ScopeAdjustments++
+			}
 		case kEff > 1:
 			kEff--
 			scopeEff = p.Scope()
 			if scopeEff > kEff {
 				scopeEff = kEff
+			}
+			if st != nil {
+				st.KAdjustments++
 			}
 			for v := range khop {
 				khop[v] = balls[v][kEff-1]
@@ -74,12 +99,27 @@ func identify(g *graph.Graph, p Params) (khop []int, cent []float64, index []flo
 	return khop, cent, index, sites, kEff, scopeEff
 }
 
-// indexField computes the L-centrality and index of every node (Defs. 3-4).
-func indexField(g *graph.Graph, p Params, khop []int) (cent, index []float64) {
-	n := g.N()
-	cent = make([]float64, n)
-	index = make([]float64, n)
-	parallelNodes(n, func(w *graph.Walker, v int) {
+// ballSizes returns the cumulative ball-size matrix sizes[v][r-1] over the
+// engine's pooled buffers; the rows stay valid until the next Extract or
+// Bind call.
+func (e *Extractor) ballSizes(maxR int) [][]int {
+	n := e.g.N()
+	e.ballsFlat = growInts(e.ballsFlat, n*maxR)
+	if cap(e.balls) < n {
+		e.balls = make([][]int, n)
+	}
+	e.balls = e.balls[:n]
+	for v := 0; v < n; v++ {
+		e.balls[v] = e.ballsFlat[v*maxR : (v+1)*maxR : (v+1)*maxR]
+	}
+	e.g.BallSizesInto(maxR, e.balls, e.getWalker, e.putWalker)
+	return e.balls
+}
+
+// indexField computes the L-centrality and index of every node (Defs. 3-4)
+// into the provided per-node slices.
+func (e *Extractor) indexField(p Params, khop []int, cent, index []float64) {
+	graph.ParallelNodes(e.g, e.getWalker, e.putWalker, func(w *graph.Walker, v int) {
 		// c_L(v): average K-hop size over N_L(v) plus v itself. Including v
 		// makes c_L well defined for isolated nodes and only shifts all
 		// values consistently, so local-maximum comparisons are unaffected.
@@ -91,29 +131,35 @@ func indexField(g *graph.Graph, p Params, khop []int) (cent, index []float64) {
 		})
 		cent[v] = float64(sum) / float64(count)
 		index[v] = (float64(khop[v]) + cent[v]) / 2
-	}, g)
-	return cent, index
+	})
 }
 
 // electSites applies Def. 5: a node whose index is maximal within its
 // scope-hop neighborhood (ties broken by node ID so exactly one node of an
-// index plateau elects) identifies itself as a critical skeleton node.
-func electSites(g *graph.Graph, index []float64, scope int) []int32 {
-	n := g.N()
-	isSite := make([]bool, n)
-	parallelNodes(n, func(w *graph.Walker, v int) {
+// index plateau elects) identifies itself as a critical skeleton node. The
+// flood stops as soon as a dominating neighbor disproves maximality.
+func (e *Extractor) electSites(index []float64, scope int) []int32 {
+	n := e.g.N()
+	e.bools = growBools(e.bools, n)
+	isSite := e.bools
+	graph.ParallelNodes(e.g, e.getWalker, e.putWalker, func(w *graph.Walker, v int) {
 		maximal := true
-		w.Walk(v, scope, func(u, _ int32) {
-			if !maximal {
-				return
-			}
+		w.WalkUntil(v, scope, func(u, _ int32) bool {
 			if index[u] > index[v] || (index[u] == index[v] && u < int32(v)) {
 				maximal = false
+				return false
 			}
+			return true
 		})
 		isSite[v] = maximal
-	}, g)
-	var sites []int32
+	})
+	count := 0
+	for v := 0; v < n; v++ {
+		if isSite[v] {
+			count++
+		}
+	}
+	sites := make([]int32, 0, count)
 	for v := 0; v < n; v++ {
 		if isSite[v] {
 			sites = append(sites, int32(v))
@@ -123,53 +169,36 @@ func electSites(g *graph.Graph, index []float64, scope int) []int32 {
 }
 
 // effectiveRadius returns the largest radius r <= want whose median ball
-// size stays below fraction*n, and at least 1.
-func effectiveRadius(balls [][]int, want int, fraction float64) int {
+// size stays below fraction*n (and at least 1), plus that radius' median
+// ball size. Each candidate radius is tested by counting how many balls
+// stay under the limit — sorted[n/2] <= limit exactly when at least n/2+1
+// values do — so nothing is sorted inside the per-radius loop; one sort of
+// the reusable scratch slice yields the returned median.
+func effectiveRadius(balls [][]int, want int, fraction float64, scratch *[]int) (radius, median int) {
 	n := len(balls)
 	if n == 0 {
-		return 1
+		return 1, 0
 	}
 	limit := fraction * float64(n)
-	sizes := make([]int, n)
+	need := n/2 + 1
+	radius = 1
 	for r := want; r > 1; r-- {
+		count := 0
 		for v := range balls {
-			sizes[v] = balls[v][r-1]
+			if float64(balls[v][r-1]) <= limit {
+				count++
+			}
 		}
-		sort.Ints(sizes)
-		if float64(sizes[n/2]) <= limit {
-			return r
-		}
-	}
-	return 1
-}
-
-// parallelNodes runs fn over every node with one Walker per worker.
-func parallelNodes(n int, fn func(w *graph.Walker, v int), g *graph.Graph) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		lo, hi := i*chunk, (i+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
+		if count >= need {
+			radius = r
 			break
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			w := graph.NewWalker(g)
-			for v := lo; v < hi; v++ {
-				fn(w, v)
-			}
-		}(lo, hi)
 	}
-	wg.Wait()
+	sizes := growInts(*scratch, n)
+	*scratch = sizes
+	for v := range balls {
+		sizes[v] = balls[v][radius-1]
+	}
+	sort.Ints(sizes)
+	return radius, sizes[n/2]
 }

@@ -21,7 +21,7 @@ import (
 // Around a hole the end nodes lie on the hole boundary and the stitched
 // loop has to travel the hole perimeter — the loop is genuine.
 func refine(g *graph.Graph, p Params, index []float64, records [][]SiteDist,
-	cellOf []int32, edges []SiteEdge, coarseSkel *Skeleton) ([]Loop, *Skeleton) {
+	cellOf []int32, edges []SiteEdge, coarseSkel *Skeleton, st *Stats) ([]Loop, *Skeleton) {
 
 	w := &refiner{g: g, p: p, index: index, records: records, cellOf: cellOf}
 	for _, e := range edges {
@@ -33,7 +33,11 @@ func refine(g *graph.Graph, p Params, index []float64, records [][]SiteDist,
 	w.dropRedundantParallels()
 	w.classifyLoops()
 	skel := w.build()
+	before := skel.NumNodes()
 	pruneBranches(skel, pruneThreshold(p, edges))
+	if st != nil {
+		st.PrunedNodes += before - skel.NumNodes()
+	}
 	return w.loops, skel
 }
 

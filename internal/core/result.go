@@ -334,6 +334,12 @@ type Result struct {
 	// Boundary is the boundary by-product: node IDs classified as
 	// boundary nodes.
 	Boundary []int32
+
+	// Stats instruments the run that produced this result: per-phase wall
+	// time plus work and outcome counters. The staged engine always
+	// populates it; it is nil on results assembled by hand, and excluded
+	// from result equality (two identical extractions differ only here).
+	Stats *Stats `json:",omitempty"`
 }
 
 // IsSegmentNode reports whether v recorded two or more sites.

@@ -17,6 +17,15 @@ import (
 // inequality in the hop metric), so the visited sets match the paper's
 // forwarding rule while keeping total work near-linear.
 func voronoi(g *graph.Graph, sites []int32, alpha int32) (cellOf, distToSite []int32, records [][]SiteDist) {
+	return NewExtractor(g).voronoi(sites, alpha, nil)
+}
+
+// voronoi is the staged engine's Phase 2: the BFS scratch (distances,
+// stamps, parents, queue) comes from the engine's pools, while everything
+// that escapes into the Result is allocated fresh. st, when non-nil,
+// accumulates the flood counters.
+func (e *Extractor) voronoi(sites []int32, alpha int32, st *Stats) (cellOf, distToSite []int32, records [][]SiteDist) {
+	g := e.g
 	n := g.N()
 	cellOf = make([]int32, n)
 	distToSite = make([]int32, n)
@@ -31,7 +40,8 @@ func voronoi(g *graph.Graph, sites []int32, alpha int32) (cellOf, distToSite []i
 
 	// Pass 1: plain multi-source BFS for dmin; ties go to the lowest site
 	// ID because sites are enqueued in increasing ID order.
-	queue := make([]int32, 0, n)
+	e.vorQueue = growInt32s(e.vorQueue, n)
+	queue := e.vorQueue[:0]
 	for _, s := range sites {
 		distToSite[s] = 0
 		cellOf[s] = s
@@ -48,12 +58,35 @@ func voronoi(g *graph.Graph, sites []int32, alpha int32) (cellOf, distToSite []i
 			}
 		}
 	}
+	if st != nil {
+		st.Floods += 1 + len(sites)
+	}
+
+	// First records go into one shared arena, one slot per node: nearly
+	// every node records exactly its nearest site, so the per-node append
+	// that used to allocate a tiny slice per node becomes a single
+	// allocation. The arena is owned by the returned records — it escapes
+	// with the Result, never into the engine's pools — and only nodes with
+	// a second record (segment nodes) fall back to append's growth.
+	arena := make([]SiteDist, n)
+	addRecord := func(v int32, rec SiteDist) {
+		if len(records[v]) == 0 {
+			arena[v] = rec
+			records[v] = arena[v : v+1 : v+1]
+		} else {
+			records[v] = append(records[v], rec)
+		}
+	}
 
 	// Pass 2: per-site pruned BFS recording (site, dist, parent) wherever
 	// dist <= dmin + alpha.
-	dist := make([]int32, n)
-	stamp := make([]int32, n)
-	parent := make([]int32, n)
+	e.vorDist = growInt32s(e.vorDist, n)
+	e.vorStamp = growInt32s(e.vorStamp, n)
+	e.vorParent = growInt32s(e.vorParent, n)
+	dist, stamp, parent := e.vorDist, e.vorStamp, e.vorParent
+	for i := range stamp {
+		stamp[i] = 0
+	}
 	var epoch int32
 	for _, s := range sites {
 		epoch++
@@ -62,7 +95,7 @@ func voronoi(g *graph.Graph, sites []int32, alpha int32) (cellOf, distToSite []i
 		parent[s] = s
 		queue = queue[:0]
 		queue = append(queue, s)
-		records[s] = append(records[s], SiteDist{Site: s, D: 0, Parent: s})
+		addRecord(s, SiteDist{Site: s, D: 0, Parent: s})
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
 			du := dist[u]
@@ -78,7 +111,7 @@ func voronoi(g *graph.Graph, sites []int32, alpha int32) (cellOf, distToSite []i
 				dist[v] = dv
 				parent[v] = u
 				queue = append(queue, v)
-				records[v] = append(records[v], SiteDist{Site: s, D: dv, Parent: u})
+				addRecord(v, SiteDist{Site: s, D: dv, Parent: u})
 			}
 		}
 	}

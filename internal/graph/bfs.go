@@ -1,9 +1,5 @@
 package graph
 
-import (
-	"runtime"
-	"sync"
-)
 
 // BFS returns hop distances from src to every node (Unreachable for nodes in
 // other components).
@@ -139,6 +135,34 @@ func (s *khopScratch) run(g *Graph, src, k int, visit func(v, d int32)) {
 	}
 }
 
+// runUntil is run with early termination: visit returning false abandons
+// the sweep immediately. The scratch stays consistent for the next sweep
+// (the epoch stamp makes partially filled buffers harmless).
+func (s *khopScratch) runUntil(g *Graph, src, k int, visit func(v, d int32) bool) {
+	s.epoch++
+	s.stamp[src] = s.epoch
+	s.dist[src] = 0
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, int32(src))
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		du := s.dist[u]
+		if int(du) == k {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if s.stamp[v] != s.epoch {
+				s.stamp[v] = s.epoch
+				s.dist[v] = du + 1
+				s.queue = append(s.queue, v)
+				if !visit(v, du+1) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // KHopNeighbors returns the nodes at hop distance 1..k from src.
 func (g *Graph) KHopNeighbors(src, k int) []int32 {
 	s := newKHopScratch(g.N())
@@ -160,38 +184,10 @@ func (g *Graph) KHopCount(src, k int) int {
 // centralized analogue of the paper's first round of controlled flooding
 // (Sec. III-A).
 func (g *Graph) AllKHopCounts(k int) []int {
-	n := g.N()
-	out := make([]int, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s := newKHopScratch(n)
-			for v := lo; v < hi; v++ {
-				c := 0
-				s.run(g, v, k, func(_, _ int32) { c++ })
-				out[v] = c
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	out := make([]int, g.N())
+	ParallelNodes(g, nil, nil, func(w *Walker, v int) {
+		out[v] = w.Count(v, k)
+	})
 	return out
 }
 
@@ -206,39 +202,24 @@ func (g *Graph) AllBallSizes(k int) [][]int {
 	for v := range out {
 		out[v] = flat[v*k : (v+1)*k : (v+1)*k]
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			s := newKHopScratch(n)
-			for v := lo; v < hi; v++ {
-				counts := out[v]
-				s.run(g, v, k, func(_, d int32) { counts[d-1]++ })
-				for r := 1; r < k; r++ {
-					counts[r] += counts[r-1]
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	g.BallSizesInto(k, out, nil, nil)
 	return out
+}
+
+// BallSizesInto is AllBallSizes over caller-provided row buffers (each row
+// must have length k; previous contents are overwritten), with an optional
+// Walker acquire/release pair for pooling — see ParallelNodes.
+func (g *Graph) BallSizesInto(k int, out [][]int, acquire func() *Walker, release func(*Walker)) {
+	ParallelNodes(g, acquire, release, func(w *Walker, v int) {
+		counts := out[v]
+		for r := range counts {
+			counts[r] = 0
+		}
+		w.Walk(v, k, func(_, d int32) { counts[d-1]++ })
+		for r := 1; r < k; r++ {
+			counts[r] += counts[r-1]
+		}
+	})
 }
 
 // Components labels connected components; it returns the label of each node

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelNodes runs fn(w, v) for every node of g, partitioning the node
+// range into contiguous chunks across up to GOMAXPROCS workers. Each worker
+// obtains one Walker through acquire and hands it back through release when
+// its chunk is done; passing nil for both makes every worker create (and
+// drop) a fresh Walker. The acquire/release pair is how callers pool
+// Walkers across repeated sweeps — see core.Extractor.
+//
+// fn runs concurrently across chunks: it must only write state owned by v
+// (per-node slots of preallocated slices are fine). The chunking is
+// deterministic, so any per-node output is independent of the worker count.
+func ParallelNodes(g *Graph, acquire func() *Walker, release func(*Walker), fn func(w *Walker, v int)) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var w *Walker
+			if acquire != nil {
+				w = acquire()
+			} else {
+				w = NewWalker(g)
+			}
+			for v := lo; v < hi; v++ {
+				fn(w, v)
+			}
+			if release != nil {
+				release(w)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

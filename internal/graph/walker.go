@@ -20,6 +20,13 @@ func (w *Walker) Walk(src, k int, visit func(v, d int32)) {
 	w.s.run(w.g, src, k, visit)
 }
 
+// WalkUntil is Walk with early termination: the sweep stops as soon as
+// visit returns false. Use it when the answer can be decided before the
+// whole k-hop ball is flooded (e.g. local-maximum tests).
+func (w *Walker) WalkUntil(src, k int, visit func(v, d int32) bool) {
+	w.s.runUntil(w.g, src, k, visit)
+}
+
 // Count returns |N_k(src)| using the walker's buffers.
 func (w *Walker) Count(src, k int) int {
 	n := 0
