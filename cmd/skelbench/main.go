@@ -11,12 +11,17 @@
 //	skelbench -fig fig5       # run one experiment
 //	skelbench -seed 7         # change the deployment seed
 //	skelbench -json out.json  # also dump rows (with per-phase stats) as JSON
+//	skelbench -trace t.jsonl  # emit a structured span/event trace (see cmd/skeltrace)
+//	skelbench -metrics        # dump Prometheus-text metrics on exit
+//	skelbench -pprof :6060    # serve net/http/pprof while running
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -42,15 +47,44 @@ type report struct {
 	Date    string       `json:"date"`
 	Seed    int64        `json:"seed"`
 	Figures []figureDump `json:"figures"`
+	// Metrics is the final registry snapshot; present whenever the run
+	// collected metrics (-metrics, or any -json run).
+	Metrics *bfskel.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 func run() error {
 	var (
-		fig      = flag.String("fig", "", "experiment to run (empty = all); one of "+strings.Join(bfskel.FigureNames(), ", "))
-		seed     = flag.Int64("seed", 1, "deployment/link seed")
-		jsonPath = flag.String("json", "", "write all rows (including per-phase stats) as JSON")
+		fig       = flag.String("fig", "", "experiment to run (empty = all); one of "+strings.Join(bfskel.FigureNames(), ", "))
+		seed      = flag.Int64("seed", 1, "deployment/link seed")
+		jsonPath  = flag.String("json", "", "write all rows (including per-phase stats) as JSON")
+		tracePath = flag.String("trace", "", "write a structured span/event trace as JSONL (see cmd/skeltrace)")
+		metricsOn = flag.Bool("metrics", false, "dump Prometheus-text metrics on exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "skelbench: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var ob bfskel.ObsScope
+	var traceSink *bfskel.JSONLSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = bfskel.NewJSONLSink(f)
+		ob.Tracer = bfskel.NewTracer(traceSink)
+	}
+	if *metricsOn || *jsonPath != "" {
+		ob.Metrics = bfskel.NewMetricsRegistry()
+	}
 
 	figures := bfskel.FigureNames()
 	if *fig != "" {
@@ -58,7 +92,7 @@ func run() error {
 	}
 	rep := report{Date: time.Now().UTC().Format(time.RFC3339), Seed: *seed}
 	for _, f := range figures {
-		rows, err := bfskel.RunFigure(f, *seed)
+		rows, err := bfskel.RunFigureObs(f, *seed, ob)
 		if err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
@@ -67,6 +101,10 @@ func run() error {
 			fmt.Println(" ", r)
 		}
 		rep.Figures = append(rep.Figures, figureDump{Figure: f, Rows: rows})
+	}
+	if ob.Metrics != nil {
+		snap := ob.Metrics.Snapshot()
+		rep.Metrics = &snap
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -77,6 +115,17 @@ func run() error {
 			return err
 		}
 		fmt.Println("wrote", *jsonPath)
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			return fmt.Errorf("trace %s: %w", *tracePath, err)
+		}
+		fmt.Println("wrote", *tracePath)
+	}
+	if *metricsOn {
+		if err := ob.Metrics.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -10,6 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
@@ -44,8 +46,36 @@ func run() error {
 		list      = flag.Bool("list", false, "list available shapes and exit")
 		jsonPath  = flag.String("json", "", "write the extraction result as JSON")
 		netPath   = flag.String("savenet", "", "write the network (positions+links) as JSON")
+		tracePath = flag.String("trace", "", "write a structured span/event trace as JSONL")
+		metricsOn = flag.Bool("metrics", false, "dump Prometheus-text metrics on exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "skelextract: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var ob bfskel.ObsScope
+	var traceSink *bfskel.JSONLSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = bfskel.NewJSONLSink(f)
+		defer traceSink.Flush()
+		ob.Tracer = bfskel.NewTracer(traceSink)
+	}
+	if *metricsOn {
+		ob.Metrics = bfskel.NewMetricsRegistry()
+		defer func() { ob.Metrics.WritePrometheus(os.Stdout) }()
+	}
 
 	if *list {
 		for _, name := range bfskel.ShapeNames() {
@@ -96,7 +126,7 @@ func run() error {
 	params := bfskel.DefaultParams()
 	params.K, params.L = *k, *l
 	params.LocalMaxScope = *scope
-	engine := net.Extractor()
+	engine := net.ExtractorObs(ob)
 	engine.CollectMemStats = true
 	res, err := engine.Extract(params)
 	if err != nil {

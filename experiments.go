@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"bfskel/internal/obs"
 )
 
 // Scenario is one experiment configuration, typically taken from the
@@ -149,6 +151,12 @@ func BuildScenario(sc Scenario, seed int64) (*Network, error) {
 
 // RunScenario builds the network and extracts the skeleton.
 func RunScenario(sc Scenario, seed int64) (*Network, *Result, error) {
+	return RunScenarioObs(sc, seed, ObsScope{})
+}
+
+// RunScenarioObs is RunScenario with the scope's tracer and metrics
+// attached to the extraction engine (one "extract" span tree per run).
+func RunScenarioObs(sc Scenario, seed int64, ob ObsScope) (*Network, *Result, error) {
 	net, err := BuildScenario(sc, seed)
 	if err != nil {
 		return nil, nil, err
@@ -157,7 +165,7 @@ func RunScenario(sc Scenario, seed int64) (*Network, *Result, error) {
 	if params.K == 0 {
 		params = DefaultParams()
 	}
-	res, err := net.Extract(params)
+	res, err := net.ExtractorObs(ob).Extract(params)
 	if err != nil {
 		return net, nil, fmt.Errorf("extract %s: %w", sc.Name, err)
 	}
@@ -207,31 +215,47 @@ func rowFor(sc Scenario, net *Network, res *Result) ExperimentRow {
 // and returns its measured rows. Known figures: fig1, fig3, fig4, fig5,
 // fig6, fig7, fig8, complexity, params, baselines, routing.
 func RunFigure(figure string, seed int64) ([]ExperimentRow, error) {
+	return RunFigureObs(figure, seed, ObsScope{})
+}
+
+// RunFigureObs is RunFigure with observability: the whole experiment runs
+// inside a "figure" span, every extraction emits its stage spans, and the
+// complexity experiment runs its distributed phases with per-round and
+// per-node recording.
+func RunFigureObs(figure string, seed int64, ob ObsScope) (rows []ExperimentRow, err error) {
+	span := ob.Tracer.StartSpan("figure", obs.Str("figure", figure), obs.Int64("seed", seed))
+	defer func() {
+		if err != nil {
+			span.End(obs.Str("error", err.Error()))
+			return
+		}
+		span.End(obs.Int("rows", len(rows)))
+	}()
 	switch figure {
 	case "fig1":
-		return runFig1(seed)
+		return runFig1(seed, ob)
 	case "fig3":
-		return runFig3(seed)
+		return runFig3(seed, ob)
 	case "fig4":
-		return runFig4(seed)
+		return runFig4(seed, ob)
 	case "fig5":
-		return runFig5(seed)
+		return runFig5(seed, ob)
 	case "fig6":
-		return runFig6(seed)
+		return runFig6(seed, ob)
 	case "fig7":
-		return runFig7(seed)
+		return runFig7(seed, ob)
 	case "fig8":
-		return runFig8(seed)
+		return runFig8(seed, ob)
 	case "complexity":
-		return runComplexity(seed)
+		return runComplexity(seed, ob)
 	case "params":
-		return runParams(seed)
+		return runParams(seed, ob)
 	case "baselines":
-		return runBaselines(seed)
+		return runBaselines(seed, ob)
 	case "routing":
-		return runRouting(seed)
+		return runRouting(seed, ob)
 	case "ablation":
-		return runAblation(seed)
+		return runAblation(seed, ob)
 	default:
 		return nil, fmt.Errorf("unknown figure %q (known: %v)", figure, FigureNames())
 	}
@@ -247,9 +271,9 @@ func FigureNames() []string {
 	return names
 }
 
-func runFig1(seed int64) ([]ExperimentRow, error) {
+func runFig1(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	sc := Fig1Scenario()
-	net, res, err := RunScenario(sc, seed)
+	net, res, err := RunScenarioObs(sc, seed, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -259,10 +283,10 @@ func runFig1(seed int64) ([]ExperimentRow, error) {
 	return []ExperimentRow{row}, nil
 }
 
-func runFig3(seed int64) ([]ExperimentRow, error) {
+func runFig3(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	sc := Fig1Scenario()
 	sc.Figure = "fig3"
-	net, res, err := RunScenario(sc, seed)
+	net, res, err := RunScenarioObs(sc, seed, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -274,10 +298,10 @@ func runFig3(seed int64) ([]ExperimentRow, error) {
 	return []ExperimentRow{row}, nil
 }
 
-func runFig4(seed int64) ([]ExperimentRow, error) {
+func runFig4(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	var rows []ExperimentRow
 	for _, sc := range Fig4Scenarios() {
-		net, res, err := RunScenario(sc, seed)
+		net, res, err := RunScenarioObs(sc, seed, ob)
 		if err != nil {
 			return rows, err
 		}
@@ -286,10 +310,10 @@ func runFig4(seed int64) ([]ExperimentRow, error) {
 	return rows, nil
 }
 
-func runFig5(seed int64) ([]ExperimentRow, error) {
+func runFig5(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	ref := Fig1Scenario()
 	ref.Figure = "fig5"
-	refNet, refRes, err := RunScenario(ref, seed)
+	refNet, refRes, err := RunScenarioObs(ref, seed, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +324,7 @@ func runFig5(seed int64) ([]ExperimentRow, error) {
 		sc := ref
 		sc.Deg = deg
 		sc.Name = fmt.Sprintf("window-%.2f", deg)
-		net, res, err := RunScenario(sc, seed)
+		net, res, err := RunScenarioObs(sc, seed, ob)
 		if err != nil {
 			return rows, err
 		}
@@ -311,7 +335,7 @@ func runFig5(seed int64) ([]ExperimentRow, error) {
 	return rows, nil
 }
 
-func runFig6(seed int64) ([]ExperimentRow, error) {
+func runFig6(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	// QUDG alpha=0.4, p=0.3, range enlarged so the network stays overall
 	// connected (the paper's setting); target degree ~8.3 realises that.
 	mk := func(name, shape string, n int) Scenario {
@@ -325,7 +349,7 @@ func runFig6(seed int64) ([]ExperimentRow, error) {
 		mk("a-window-qudg", "window", 2592),
 		mk("b-star-qudg", "star", 1394),
 	} {
-		net, res, err := RunScenario(sc, seed)
+		net, res, err := RunScenarioObs(sc, seed, ob)
 		if err != nil {
 			return rows, err
 		}
@@ -334,7 +358,7 @@ func runFig6(seed int64) ([]ExperimentRow, error) {
 	return rows, nil
 }
 
-func runFig7(seed int64) ([]ExperimentRow, error) {
+func runFig7(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	var rows []ExperimentRow
 	for _, eps := range Fig7Epsilons() {
 		sc := Scenario{
@@ -342,7 +366,7 @@ func runFig7(seed int64) ([]ExperimentRow, error) {
 			ShapeName: "window", N: 2592, Deg: 5.19,
 			RadioKind: "lognormal", Eps: eps,
 		}
-		net, res, err := RunScenario(sc, seed)
+		net, res, err := RunScenarioObs(sc, seed, ob)
 		if err != nil {
 			return rows, err
 		}
@@ -351,7 +375,7 @@ func runFig7(seed int64) ([]ExperimentRow, error) {
 	return rows, nil
 }
 
-func runFig8(seed int64) ([]ExperimentRow, error) {
+func runFig8(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	window := MustShape("window")
 	star := MustShape("star")
 	scs := []Scenario{
@@ -368,7 +392,7 @@ func runFig8(seed int64) ([]ExperimentRow, error) {
 	}
 	var rows []ExperimentRow
 	for _, sc := range scs {
-		net, res, err := RunScenario(sc, seed)
+		net, res, err := RunScenarioObs(sc, seed, ob)
 		if err != nil {
 			return rows, err
 		}
@@ -403,15 +427,21 @@ func halfPlane(b Rect, leftProb, rightProb float64) func(Point) float64 {
 	}
 }
 
-func runComplexity(seed int64) ([]ExperimentRow, error) {
+func runComplexity(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	var rows []ExperimentRow
 	for _, n := range []int{648, 1296, 2592, 5184} {
 		sc := Scenario{Figure: "complexity", Name: fmt.Sprintf("window-n%d", n), ShapeName: "window", N: n, Deg: 7}
-		net, res, err := RunScenario(sc, seed)
+		net, res, err := RunScenarioObs(sc, seed, ob)
 		if err != nil {
 			return rows, err
 		}
-		dres, err := RunProtocolPhases(net, res.EffectiveK, res.Params.L, res.EffectiveScope, res.Params.Alpha)
+		dres, err := RunProtocolPhasesObs(net, res.EffectiveK, res.Params.L, res.EffectiveScope, res.Params.Alpha,
+			ProtocolOptions{
+				Tracer:        ob.Tracer,
+				Metrics:       ob.Metrics,
+				RecordRounds:  ob.Tracer != nil || ob.Metrics != nil,
+				RecordPerNode: ob.Tracer != nil,
+			})
 		if err != nil {
 			return rows, err
 		}
@@ -425,7 +455,7 @@ func runComplexity(seed int64) ([]ExperimentRow, error) {
 	return rows, nil
 }
 
-func runParams(seed int64) ([]ExperimentRow, error) {
+func runParams(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	// One Fig. 1 network serves every parameter point (the deployment does
 	// not depend on K/L), so the sweep runs as a batch over one pooled
 	// extraction engine.
@@ -447,7 +477,7 @@ func runParams(seed int64) ([]ExperimentRow, error) {
 		scs[i] = sc
 		items[i] = BatchItem{Network: net, Params: params}
 	}
-	results, err := ExtractBatch(items)
+	results, err := ExtractBatchObs(items, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -458,10 +488,10 @@ func runParams(seed int64) ([]ExperimentRow, error) {
 	return rows, nil
 }
 
-func runBaselines(seed int64) ([]ExperimentRow, error) {
+func runBaselines(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	sc := Fig1Scenario()
 	sc.Figure = "baselines"
-	net, res, err := RunScenario(sc, seed)
+	net, res, err := RunScenarioObs(sc, seed, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +567,7 @@ func inflation(before, after int) float64 {
 // runAblation isolates the implementation's design knobs (DESIGN.md's
 // per-experiment index): the segment-node slack Alpha, the local-maximum
 // scope, and branch pruning.
-func runAblation(seed int64) ([]ExperimentRow, error) {
+func runAblation(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	// Every knob variant runs on the same Fig. 1 network, so the whole
 	// ablation is one batch over one pooled extraction engine.
 	base := Fig1Scenario()
@@ -573,7 +603,7 @@ func runAblation(seed int64) ([]ExperimentRow, error) {
 		}
 		add(name, func(p *Params) { p.PruneLen = pl })
 	}
-	results, err := ExtractBatch(items)
+	results, err := ExtractBatchObs(items, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -586,10 +616,10 @@ func runAblation(seed int64) ([]ExperimentRow, error) {
 	return rows, nil
 }
 
-func runRouting(seed int64) ([]ExperimentRow, error) {
+func runRouting(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	sc := Fig1Scenario()
 	sc.Figure = "routing"
-	net, res, err := RunScenario(sc, seed)
+	net, res, err := RunScenarioObs(sc, seed, ob)
 	if err != nil {
 		return nil, err
 	}

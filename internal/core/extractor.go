@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bfskel/internal/graph"
+	"bfskel/internal/obs"
 )
 
 // Extractor is the staged extraction engine: it runs the pipeline stages
@@ -29,7 +31,26 @@ type Extractor struct {
 	// default: the read is stop-the-world and would distort benchmarks.
 	CollectMemStats bool
 
+	// Tracer, when non-nil, receives one "extract" span per run with one
+	// "stage.<name>" child span per pipeline stage, plus events for guard
+	// adjustments, election rounds and flood counts. The per-stage
+	// PhaseStats attached to results are derived views over these spans
+	// (same stage boundaries, same measured duration). Nil disables
+	// tracing at the cost of a few nil checks per stage.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates run/stage counters and timing
+	// histograms across extractions (see DESIGN.md for the name taxonomy).
+	Metrics *obs.Registry
+
 	walkers *sync.Pool // of *graph.Walker bound to g
+
+	// root and span track the active run's trace spans; sweeps/visited
+	// aggregate BFS work drained from pooled walkers (atomic: walkers are
+	// released from parallel workers).
+	root    *obs.Span
+	span    *obs.Span
+	sweeps  atomic.Int64
+	visited atomic.Int64
 
 	// Reusable scratch; none of it escapes into results.
 	ballsFlat []int    // n*maxR cumulative ball sizes (identify)
@@ -68,8 +89,22 @@ func (e *Extractor) rebind(g *graph.Graph) {
 // Graph returns the graph the engine is bound to.
 func (e *Extractor) Graph() *graph.Graph { return e.g }
 
-func (e *Extractor) getWalker() *graph.Walker  { return e.walkers.Get().(*graph.Walker) }
-func (e *Extractor) putWalker(w *graph.Walker) { e.walkers.Put(w) }
+func (e *Extractor) getWalker() *graph.Walker { return e.walkers.Get().(*graph.Walker) }
+
+func (e *Extractor) putWalker(w *graph.Walker) {
+	// Drain the walker's BFS work tally into the per-stage aggregate. This
+	// runs a handful of times per stage (once per worker), so the atomics
+	// are noise.
+	sweeps, visited := w.TakeCounts()
+	e.sweeps.Add(int64(sweeps))
+	e.visited.Add(int64(visited))
+	e.walkers.Put(w)
+}
+
+// event annotates the active stage span; inert when tracing is off.
+func (e *Extractor) event(name string, attrs ...obs.Attr) {
+	e.span.Event(name, attrs...)
+}
 
 // Extract runs the full staged pipeline and returns the result with its
 // instrumentation attached (Result.Stats).
@@ -100,10 +135,18 @@ type BatchJob struct {
 // ordering jobs by graph maximises reuse. It fails fast on the first
 // erroring job.
 func ExtractBatch(jobs []BatchJob) ([]*Result, error) {
+	return ExtractBatchObs(jobs, nil, nil)
+}
+
+// ExtractBatchObs is ExtractBatch with the given tracer and metrics
+// attached to the shared engine; each job's run emits its own "extract"
+// span tree. Both handles may be nil.
+func ExtractBatchObs(jobs []BatchJob, tracer *obs.Tracer, metrics *obs.Registry) ([]*Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
 	e := NewExtractor(jobs[0].G)
+	e.Tracer, e.Metrics = tracer, metrics
 	out := make([]*Result, len(jobs))
 	for i, job := range jobs {
 		e.Bind(job.G)
@@ -141,34 +184,74 @@ func newStats() *Stats {
 	return &Stats{Phases: make([]PhaseStats, 0, len(stages))}
 }
 
-// runStages executes the given pipeline suffix, timing each stage, and
-// attaches the stats to the result.
+// runStages executes the given pipeline suffix, wrapping the run in an
+// "extract" trace span with one child span per stage, and attaches the
+// stats to the result. PhaseStats are derived views over the stage spans:
+// both share the stage boundaries and the single duration measurement
+// taken in runStage.
 func (rs *runState) runStages(todo []stage) error {
+	e := rs.e
+	e.root = e.Tracer.StartSpan("extract",
+		obs.Int("nodes", rs.g.N()), obs.Int("k", rs.p.K), obs.Int("l", rs.p.L),
+		obs.Int("scope", rs.p.Scope()), obs.Int("alpha", int(rs.p.Alpha)),
+		obs.Int("stages", len(todo)))
 	start := time.Now()
 	for _, st := range todo {
 		if err := rs.runStage(st); err != nil {
+			e.root.End(obs.Str("error", err.Error()))
+			e.root = nil
 			return err
 		}
 	}
 	rs.stats.Total = time.Since(start)
 	rs.res.Stats = rs.stats
+	e.root.End(
+		obs.Int("sites", rs.stats.Sites), obs.Int("edges", rs.stats.Edges),
+		obs.Int("boundaryNodes", rs.stats.BoundaryNodes))
+	e.root = nil
+	if m := e.Metrics; m != nil {
+		m.Counter("bfskel_extract_runs_total").Inc()
+		m.Histogram("bfskel_extract_seconds", obs.DurationBuckets).Observe(rs.stats.Total.Seconds())
+		m.Gauge("bfskel_extract_sites").Set(float64(rs.stats.Sites))
+		m.Counter("bfskel_election_rounds_total").Add(int64(rs.stats.ElectionRounds))
+		m.Counter(obs.Label("bfskel_guard_adjustments_total", "kind", "k")).Add(int64(rs.stats.KAdjustments))
+		m.Counter(obs.Label("bfskel_guard_adjustments_total", "kind", "scope")).Add(int64(rs.stats.ScopeAdjustments))
+		m.Counter("bfskel_voronoi_floods_total").Add(int64(rs.stats.Floods))
+	}
 	return nil
 }
 
 func (rs *runState) runStage(st stage) error {
+	e := rs.e
 	var before runtime.MemStats
-	if rs.e.CollectMemStats {
+	if e.CollectMemStats {
 		runtime.ReadMemStats(&before)
 	}
+	sweeps0, visited0 := e.sweeps.Load(), e.visited.Load()
+	e.span = e.root.StartSpan("stage." + st.name())
 	t0 := time.Now()
 	err := st.run(rs)
-	ps := PhaseStats{Name: st.name(), Duration: time.Since(t0)}
-	if rs.e.CollectMemStats {
+	d := time.Since(t0)
+	sweeps, visited := e.sweeps.Load()-sweeps0, e.visited.Load()-visited0
+	if err != nil {
+		e.span.End(obs.Int64("sweeps", sweeps), obs.Int64("visited", visited),
+			obs.Str("error", err.Error()))
+	} else {
+		e.span.End(obs.Int64("sweeps", sweeps), obs.Int64("visited", visited))
+	}
+	e.span = nil
+	ps := PhaseStats{Name: st.name(), Duration: d}
+	if e.CollectMemStats {
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
 		ps.BytesAlloc = after.TotalAlloc - before.TotalAlloc
 	}
 	rs.stats.Phases = append(rs.stats.Phases, ps)
+	if m := e.Metrics; m != nil {
+		m.Histogram(obs.Label("bfskel_stage_seconds", "stage", st.name()), obs.DurationBuckets).Observe(d.Seconds())
+		m.Counter("bfskel_bfs_sweeps_total").Add(sweeps)
+		m.Counter("bfskel_bfs_visited_nodes_total").Add(visited)
+	}
 	return err
 }
 

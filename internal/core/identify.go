@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"bfskel/internal/graph"
+	"bfskel/internal/obs"
 )
 
 // Saturation guard thresholds: the fraction of the network a typical K-hop
@@ -48,6 +49,12 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 		st.KAdjustments += p.K - kEff
 		st.ScopeAdjustments += p.Scope() - scopeEff
 	}
+	if kEff < p.K {
+		e.event("guard.adjust", obs.Str("kind", "k-saturation"), obs.Int("from", p.K), obs.Int("to", kEff))
+	}
+	if scopeEff < p.Scope() {
+		e.event("guard.adjust", obs.Str("kind", "scope-saturation"), obs.Int("from", p.Scope()), obs.Int("to", scopeEff))
+	}
 
 	khop = make([]int, n)
 	for v := range khop {
@@ -64,9 +71,13 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 	}
 	cent = make([]float64, n)
 	index = make([]float64, n)
+	round := 0
 	for {
 		e.indexField(p, khop, cent, index)
 		sites = e.electSites(index, scopeEff)
+		round++
+		e.event("election", obs.Int("round", round), obs.Int("sites", len(sites)),
+			obs.Int("k", kEff), obs.Int("scope", scopeEff))
 		if st != nil {
 			st.ElectionRounds++
 			st.BFSSweeps += 2 * n
@@ -77,6 +88,7 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 		switch {
 		case scopeEff > 1:
 			scopeEff--
+			e.event("guard.adjust", obs.Str("kind", "scope-min-sites"), obs.Int("to", scopeEff))
 			if st != nil {
 				st.ScopeAdjustments++
 			}
@@ -86,6 +98,7 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 			if scopeEff > kEff {
 				scopeEff = kEff
 			}
+			e.event("guard.adjust", obs.Str("kind", "k-min-sites"), obs.Int("to", kEff))
 			if st != nil {
 				st.KAdjustments++
 			}

@@ -60,8 +60,13 @@ type Stats struct {
 	BoundaryNodes int
 }
 
-// Phase returns the stats of the named stage, if it ran.
+// Phase returns the stats of the named stage, if it ran. A nil receiver
+// (a result whose stats were dropped, e.g. by the JSON round trip) reports
+// no phases.
 func (s *Stats) Phase(name string) (PhaseStats, bool) {
+	if s == nil {
+		return PhaseStats{}, false
+	}
 	for _, p := range s.Phases {
 		if p.Name == name {
 			return p, true
@@ -70,12 +75,24 @@ func (s *Stats) Phase(name string) (PhaseStats, bool) {
 	return PhaseStats{}, false
 }
 
-// String renders a one-line phase-timing summary.
+// String renders a one-line phase-timing summary. Phase names and
+// durations are padded to fixed widths so multi-run printouts (parameter
+// sweeps, repeated scenarios) column-align line over line. Safe on a nil
+// receiver.
 func (s *Stats) String() string {
+	if s == nil {
+		return "(no stats)"
+	}
+	nameW := len("total")
+	for _, p := range s.Phases {
+		if len(p.Name) > nameW {
+			nameW = len(p.Name)
+		}
+	}
 	var b strings.Builder
 	for _, p := range s.Phases {
-		fmt.Fprintf(&b, "%s=%s ", p.Name, p.Duration.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%-*s=%-10s ", nameW, p.Name, p.Duration.Round(time.Microsecond))
 	}
-	fmt.Fprintf(&b, "total=%s", s.Total.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-*s=%s", nameW, "total", s.Total.Round(time.Microsecond))
 	return b.String()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bfskel/internal/graph"
+	"bfskel/internal/obs"
 )
 
 // voronoi runs Phase 2 (Sec. III-B): the sites flood simultaneously; each
@@ -61,6 +62,7 @@ func (e *Extractor) voronoi(sites []int32, alpha int32, st *Stats) (cellOf, dist
 	if st != nil {
 		st.Floods += 1 + len(sites)
 	}
+	e.event("floods", obs.Int("count", 1+len(sites)), obs.Int("sites", len(sites)))
 
 	// First records go into one shared arena, one slot per node: nearly
 	// every node records exactly its nearest site, so the per-node append

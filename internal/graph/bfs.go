@@ -92,12 +92,15 @@ func (g *Graph) BFSBlocked(src int, blocked []bool) []int32 {
 	return dist
 }
 
-// khopScratch holds reusable buffers for truncated BFS sweeps.
+// khopScratch holds reusable buffers for truncated BFS sweeps, plus
+// since-last-drain work counters (see Walker.TakeCounts).
 type khopScratch struct {
-	stamp []int32
-	dist  []int32
-	queue []int32
-	epoch int32
+	stamp   []int32
+	dist    []int32
+	queue   []int32
+	epoch   int32
+	sweeps  int
+	visited int
 }
 
 func newKHopScratch(n int) *khopScratch {
@@ -111,6 +114,7 @@ func newKHopScratch(n int) *khopScratch {
 // run performs BFS from src truncated at k hops and calls visit(node, dist)
 // for every reached node other than src.
 func (s *khopScratch) run(g *Graph, src, k int, visit func(v, d int32)) {
+	s.sweeps++
 	s.epoch++
 	s.stamp[src] = s.epoch
 	s.dist[src] = 0
@@ -127,6 +131,7 @@ func (s *khopScratch) run(g *Graph, src, k int, visit func(v, d int32)) {
 				s.stamp[v] = s.epoch
 				s.dist[v] = du + 1
 				s.queue = append(s.queue, v)
+				s.visited++
 				if visit != nil {
 					visit(v, du+1)
 				}
@@ -139,6 +144,7 @@ func (s *khopScratch) run(g *Graph, src, k int, visit func(v, d int32)) {
 // the sweep immediately. The scratch stays consistent for the next sweep
 // (the epoch stamp makes partially filled buffers harmless).
 func (s *khopScratch) runUntil(g *Graph, src, k int, visit func(v, d int32) bool) {
+	s.sweeps++
 	s.epoch++
 	s.stamp[src] = s.epoch
 	s.dist[src] = 0
@@ -155,6 +161,7 @@ func (s *khopScratch) runUntil(g *Graph, src, k int, visit func(v, d int32) bool
 				s.stamp[v] = s.epoch
 				s.dist[v] = du + 1
 				s.queue = append(s.queue, v)
+				s.visited++
 				if !visit(v, du+1) {
 					return
 				}

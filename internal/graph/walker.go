@@ -33,3 +33,13 @@ func (w *Walker) Count(src, k int) int {
 	w.s.run(w.g, src, k, func(_, _ int32) { n++ })
 	return n
 }
+
+// TakeCounts drains the walker's work counters: the number of truncated BFS
+// sweeps run and nodes visited since the last drain. Pools (core.Extractor)
+// drain on release, turning per-walker tallies into per-stage aggregates
+// for the observability layer.
+func (w *Walker) TakeCounts() (sweeps, visited int) {
+	sweeps, visited = w.s.sweeps, w.s.visited
+	w.s.sweeps, w.s.visited = 0, 0
+	return sweeps, visited
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges and histograms. Instruments are
+// created on first use and live for the registry's lifetime; all operations
+// are safe for concurrent use. A nil *Registry is a valid disabled registry:
+// it hands out nil instruments whose methods no-op.
+//
+// Names follow the Prometheus convention and may carry an inline label set,
+// e.g. `bfskel_stage_seconds{stage="identify"}`; the exposition writer
+// splices histogram `le` labels into an existing label set correctly.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls reuse the first buckets).
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		h = &Histogram{buckets: bs, counts: make([]int64, len(bs))}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (negative n is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// cumulative at exposition time) plus a sum and total count.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // sorted upper bounds
+	counts  []int64   // per-bucket (non-cumulative) counts
+	sum     float64
+	count   int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// DurationBuckets are the default bucket bounds (seconds) for phase and
+// run timings: 100µs .. ~100s in roughly 3x steps.
+var DurationBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100,
+}
+
+// HistogramSnapshot is the serialisable state of one histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// Sum is the sum of all observations.
+	Sum float64 `json:"sum"`
+	// Buckets holds cumulative counts per upper bound, in bound order.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time, JSON-marshalable copy of every instrument —
+// the machine-readable form embedded in skelbench -json reports.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current state of every instrument. A nil registry
+// yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	cum := int64(0)
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		out.Buckets = append(out.Buckets, BucketCount{LE: ub, Count: cum})
+	}
+	return out
+}
+
+// splitName separates an inline label set from a metric name:
+// `a{b="c"}` -> (`a`, `b="c"`); a plain name comes back with empty labels.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// joinLabels merges an existing label set with one extra pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, name := range sortedKeys(snap.Counters) {
+		base, labels := splitName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+		fmt.Fprintf(&b, "%s %d\n", promName(base, labels), snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		base, labels := splitName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
+		fmt.Fprintf(&b, "%s %g\n", promName(base, labels), snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		base, labels := splitName(name)
+		h := snap.Histograms[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		for _, bc := range h.Buckets {
+			le := joinLabels(labels, fmt.Sprintf("le=%q", formatLE(bc.LE)))
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, le, bc.Count)
+		}
+		inf := joinLabels(labels, `le="+Inf"`)
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, inf, h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %g\n", base, bracketed(labels), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, bracketed(labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatLE(v float64) string { return fmt.Sprintf("%g", v) }
+
+func bracketed(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func promName(base, labels string) string { return base + bracketed(labels) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Label formats a metric name with one inline label pair, e.g.
+// Label("x_seconds", "stage", "identify") -> `x_seconds{stage="identify"}`.
+func Label(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}

@@ -75,7 +75,7 @@ func (p *centralityProgram) centrality() float64 {
 }
 
 // runCentrality executes the centrality phase and derives the index.
-func runCentrality(g *graph.Graph, l int, khop []int, jitter int, seed int64) (cent, index []float64, stats simnet.Stats, err error) {
+func runCentrality(g *graph.Graph, l int, khop []int, po phaseOpts) (cent, index []float64, stats simnet.Stats, err error) {
 	programs := make([]simnet.Program, g.N())
 	nodes := make([]*centralityProgram, g.N())
 	for v := range programs {
@@ -89,7 +89,7 @@ func runCentrality(g *graph.Graph, l int, khop []int, jitter int, seed int64) (c
 	if err != nil {
 		return nil, nil, simnet.Stats{}, err
 	}
-	sim.Jitter, sim.JitterSeed = jitter, seed
+	po.configure(sim)
 	stats, err = sim.Run()
 	if err != nil {
 		return nil, nil, stats, err

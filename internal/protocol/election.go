@@ -71,7 +71,7 @@ func (p *electionProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
 func (p *electionProgram) isSite() bool { return p.best.ID == p.own.ID }
 
 // runElection executes the site election phase.
-func runElection(g *graph.Graph, scope int, index []float64, jitter int, seed int64) ([]int32, simnet.Stats, error) {
+func runElection(g *graph.Graph, scope int, index []float64, po phaseOpts) ([]int32, simnet.Stats, error) {
 	programs := make([]simnet.Program, g.N())
 	nodes := make([]*electionProgram, g.N())
 	for v := range programs {
@@ -85,7 +85,7 @@ func runElection(g *graph.Graph, scope int, index []float64, jitter int, seed in
 	if err != nil {
 		return nil, simnet.Stats{}, err
 	}
-	sim.Jitter, sim.JitterSeed = jitter, seed
+	po.configure(sim)
 	stats, err := sim.Run()
 	if err != nil {
 		return nil, stats, err

@@ -69,7 +69,7 @@ func (p *neighborhoodProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope)
 func (p *neighborhoodProgram) size() int { return len(p.known) - 1 }
 
 // runNeighborhood executes the K-hop discovery phase.
-func runNeighborhood(g *graph.Graph, k int, jitter int, seed int64) ([]int, simnet.Stats, error) {
+func runNeighborhood(g *graph.Graph, k int, po phaseOpts) ([]int, simnet.Stats, error) {
 	programs := make([]simnet.Program, g.N())
 	nodes := make([]*neighborhoodProgram, g.N())
 	for v := range programs {
@@ -80,7 +80,7 @@ func runNeighborhood(g *graph.Graph, k int, jitter int, seed int64) ([]int, simn
 	if err != nil {
 		return nil, simnet.Stats{}, err
 	}
-	sim.Jitter, sim.JitterSeed = jitter, seed
+	po.configure(sim)
 	stats, err := sim.Run()
 	if err != nil {
 		return nil, stats, err

@@ -17,7 +17,7 @@ func pathGraph(n int) *graph.Graph {
 
 func TestRunNeighborhoodPath(t *testing.T) {
 	g := pathGraph(8)
-	khop, stats, err := runNeighborhood(g, 2, 0, 0)
+	khop, stats, err := runNeighborhood(g, 2, phaseOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestRunNeighborhoodPath(t *testing.T) {
 func TestRunCentralityPath(t *testing.T) {
 	g := pathGraph(5)
 	khop := []int{1, 2, 3, 4, 5} // synthetic sizes for checkable averages
-	cent, index, _, err := runCentrality(g, 1, khop, 0, 0)
+	cent, index, _, err := runCentrality(g, 1, khop, phaseOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestRunElectionPath(t *testing.T) {
 	g := pathGraph(7)
 	// Two separated peaks at 1 and 5.
 	index := []float64{1, 9, 2, 3, 2, 8, 1}
-	sites, _, err := runElection(g, 2, index, 0, 0)
+	sites, _, err := runElection(g, 2, index, phaseOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestRunElectionPath(t *testing.T) {
 		t.Errorf("sites = %v, want [1 5]", sites)
 	}
 	// With scope 4 the peaks see each other; only the higher survives.
-	sites, _, err = runElection(g, 4, index, 0, 0)
+	sites, _, err = runElection(g, 4, index, phaseOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestRunElectionPath(t *testing.T) {
 func TestRunElectionTieBreak(t *testing.T) {
 	g := pathGraph(3)
 	index := []float64{5, 5, 5}
-	sites, _, err := runElection(g, 2, index, 0, 0)
+	sites, _, err := runElection(g, 2, index, phaseOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestRunElectionTieBreak(t *testing.T) {
 
 func TestRunVoronoiPath(t *testing.T) {
 	g := pathGraph(9)
-	records, _, err := runVoronoi(g, []int32{0, 8}, 1, 0, 0)
+	records, _, err := runVoronoi(g, []int32{0, 8}, 1, phaseOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

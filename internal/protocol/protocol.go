@@ -19,8 +19,13 @@ import (
 
 	"bfskel/internal/core"
 	"bfskel/internal/graph"
+	"bfskel/internal/obs"
 	"bfskel/internal/simnet"
 )
+
+// PhaseNames lists the four protocol phases in execution order; trace spans
+// are named "phase.<name>".
+var PhaseNames = [4]string{"neighborhood", "centrality", "election", "voronoi"}
 
 // Result carries the distributed computation's outputs plus the per-phase
 // simulation statistics.
@@ -58,12 +63,52 @@ func (r *Result) TotalRounds() int {
 	return total
 }
 
+// Options configures a protocol run beyond the radii.
+type Options struct {
+	// Jitter delays each transmission by a uniform 0..Jitter extra rounds;
+	// Seed makes jittered runs reproducible (each phase derives its own
+	// sub-seed).
+	Jitter int
+	Seed   int64
+	// Tracer, when non-nil, wraps the run in a "protocol" span with one
+	// "phase.<name>" child span per phase carrying per-round events —
+	// the phase → round breakdown behind the paper's complexity claims.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates per-phase message/round counters.
+	Metrics *obs.Registry
+	// RecordRounds enables simnet per-round accounting; the per-round
+	// stats land in Result.PhaseStats[i].PerRound.
+	RecordRounds bool
+	// RecordPerNode enables simnet per-node send/receive counters
+	// (Result.PhaseStats[i].NodeSent/NodeRecv); with tracing on, each
+	// phase span also carries a "nodes" event with the full counter
+	// arrays, which cmd/skeltrace reduces to the hottest nodes.
+	RecordPerNode bool
+}
+
+// phaseOpts is the per-phase slice of Options handed to each phase runner.
+type phaseOpts struct {
+	jitter        int
+	seed          int64
+	span          *obs.Span
+	recordRounds  bool
+	recordPerNode bool
+}
+
+// configure applies the options to a freshly built simulator.
+func (po phaseOpts) configure(sim *simnet.Sim) {
+	sim.Jitter, sim.JitterSeed = po.jitter, po.seed
+	sim.Span = po.span
+	sim.RecordRounds = po.recordRounds
+	sim.RecordPerNode = po.recordPerNode
+}
+
 // Run executes the four protocol phases on the graph. k, l and scope are
 // the effective radii (pass the values the centralized pipeline resolved,
 // e.g. Result.EffectiveK/EffectiveScope, to compare runs); alpha is the
 // segment-node slack.
 func Run(g *graph.Graph, k, l, scope int, alpha int32) (*Result, error) {
-	return RunJittered(g, k, l, scope, alpha, 0, 0)
+	return RunOpts(g, k, l, scope, alpha, Options{})
 }
 
 // RunJittered is Run with per-message delivery jitter: each transmission is
@@ -73,36 +118,81 @@ func Run(g *graph.Graph, k, l, scope int, alpha int32) (*Result, error) {
 // probes the paper's informal synchrony assumption ("the message travels at
 // approximately the same speed").
 func RunJittered(g *graph.Graph, k, l, scope int, alpha int32, jitter int, seed int64) (*Result, error) {
+	return RunOpts(g, k, l, scope, alpha, Options{Jitter: jitter, Seed: seed})
+}
+
+// RunOpts executes the four protocol phases with full observability
+// control (see Options).
+func RunOpts(g *graph.Graph, k, l, scope int, alpha int32, opts Options) (*Result, error) {
 	if k < 1 || l < 1 || scope < 1 {
 		return nil, fmt.Errorf("protocol: radii must be >= 1 (k=%d l=%d scope=%d)", k, l, scope)
 	}
-	if jitter < 0 {
-		return nil, fmt.Errorf("protocol: jitter must be >= 0, got %d", jitter)
+	if opts.Jitter < 0 {
+		return nil, fmt.Errorf("protocol: jitter must be >= 0, got %d", opts.Jitter)
 	}
 	res := &Result{}
+	root := opts.Tracer.StartSpan("protocol",
+		obs.Int("nodes", g.N()), obs.Int("k", k), obs.Int("l", l),
+		obs.Int("scope", scope), obs.Int("alpha", int(alpha)), obs.Int("jitter", opts.Jitter))
 
-	khop, stats, err := runNeighborhood(g, k, jitter, seed)
-	if err != nil {
-		return nil, fmt.Errorf("neighborhood phase: %w", err)
+	// phase wraps one protocol phase: a "phase.<name>" child span during
+	// the run, then stats bookkeeping into the result, trace and metrics.
+	phase := func(i int, run func(po phaseOpts) (simnet.Stats, error)) error {
+		name := PhaseNames[i]
+		span := root.StartSpan("phase." + name)
+		stats, err := run(phaseOpts{
+			jitter:        opts.Jitter,
+			seed:          opts.Seed + int64(i),
+			span:          span,
+			recordRounds:  opts.RecordRounds,
+			recordPerNode: opts.RecordPerNode,
+		})
+		res.PhaseStats[i] = stats
+		if err != nil {
+			span.End(obs.Str("error", err.Error()))
+			root.End(obs.Str("error", err.Error()))
+			return fmt.Errorf("%s phase: %w", name, err)
+		}
+		if opts.RecordPerNode && stats.NodeSent != nil {
+			span.Event("nodes", obs.Any("sent", stats.NodeSent), obs.Any("recv", stats.NodeRecv))
+		}
+		span.End(obs.Int("messages", stats.Messages), obs.Int("rounds", stats.Rounds))
+		if m := opts.Metrics; m != nil {
+			m.Counter(obs.Label("bfskel_protocol_messages_total", "phase", name)).Add(int64(stats.Messages))
+			m.Counter(obs.Label("bfskel_protocol_rounds_total", "phase", name)).Add(int64(stats.Rounds))
+		}
+		return nil
 	}
-	res.KHop, res.PhaseStats[0] = khop, stats
 
-	cent, index, stats, err := runCentrality(g, l, khop, jitter, seed+1)
-	if err != nil {
-		return nil, fmt.Errorf("centrality phase: %w", err)
+	err := phase(0, func(po phaseOpts) (simnet.Stats, error) {
+		khop, stats, err := runNeighborhood(g, k, po)
+		res.KHop = khop
+		return stats, err
+	})
+	if err == nil {
+		err = phase(1, func(po phaseOpts) (simnet.Stats, error) {
+			cent, index, stats, err := runCentrality(g, l, res.KHop, po)
+			res.Cent, res.Index = cent, index
+			return stats, err
+		})
 	}
-	res.Cent, res.Index, res.PhaseStats[1] = cent, index, stats
-
-	sites, stats, err := runElection(g, scope, index, jitter, seed+2)
-	if err != nil {
-		return nil, fmt.Errorf("election phase: %w", err)
+	if err == nil {
+		err = phase(2, func(po phaseOpts) (simnet.Stats, error) {
+			sites, stats, err := runElection(g, scope, res.Index, po)
+			res.Sites = sites
+			return stats, err
+		})
 	}
-	res.Sites, res.PhaseStats[2] = sites, stats
-
-	records, stats, err := runVoronoi(g, sites, alpha, jitter, seed+3)
-	if err != nil {
-		return nil, fmt.Errorf("voronoi phase: %w", err)
+	if err == nil {
+		err = phase(3, func(po phaseOpts) (simnet.Stats, error) {
+			records, stats, err := runVoronoi(g, res.Sites, alpha, po)
+			res.Records = records
+			return stats, err
+		})
 	}
-	res.Records, res.PhaseStats[3] = records, stats
+	if err != nil {
+		return nil, err
+	}
+	root.End(obs.Int("messages", res.TotalMessages()), obs.Int("rounds", res.TotalRounds()))
 	return res, nil
 }

@@ -111,7 +111,7 @@ func (p *voronoiProgram) dropStale() {
 }
 
 // runVoronoi executes the Voronoi flooding phase.
-func runVoronoi(g *graph.Graph, sites []int32, alpha int32, jitter int, seed int64) ([][]core.SiteDist, simnet.Stats, error) {
+func runVoronoi(g *graph.Graph, sites []int32, alpha int32, po phaseOpts) ([][]core.SiteDist, simnet.Stats, error) {
 	isSite := make([]bool, g.N())
 	for _, s := range sites {
 		isSite[s] = true
@@ -126,7 +126,7 @@ func runVoronoi(g *graph.Graph, sites []int32, alpha int32, jitter int, seed int
 	if err != nil {
 		return nil, simnet.Stats{}, err
 	}
-	sim.Jitter, sim.JitterSeed = jitter, seed
+	po.configure(sim)
 	stats, err := sim.Run()
 	if err != nil {
 		return nil, stats, err

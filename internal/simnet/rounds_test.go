@@ -1,0 +1,130 @@
+package simnet_test
+
+import (
+	"testing"
+
+	"bfskel/internal/graph"
+	"bfskel/internal/obs"
+	"bfskel/internal/simnet"
+)
+
+// star builds a hub-and-spokes graph: node 0 adjacent to all others.
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// TestPerRoundAccounting pins the per-round counters: with RecordRounds and
+// RecordPerNode set, the per-round message counts sum exactly to
+// Stats.Messages, the per-node send counters do too, the per-node receive
+// counters sum to the per-round deliveries, and a round event fires per
+// recorded round.
+func TestPerRoundAccounting(t *testing.T) {
+	const n = 12
+	g := line(n)
+	nodes := make([]*relay, n)
+	programs := make([]simnet.Program, n)
+	for i := range nodes {
+		nodes[i] = &relay{start: i == 0}
+		programs[i] = nodes[i]
+	}
+	sim, err := simnet.New(g, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRingSink(0)
+	span := obs.NewTracer(ring).StartSpan("sim")
+	sim.RecordRounds, sim.RecordPerNode, sim.Span = true, true, span
+	stats, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	if len(stats.PerRound) != stats.Rounds+1 {
+		t.Fatalf("PerRound has %d entries, want rounds+1 = %d", len(stats.PerRound), stats.Rounds+1)
+	}
+	msgs, deliveries := 0, 0
+	for i, r := range stats.PerRound {
+		if r.Round != i {
+			t.Errorf("PerRound[%d].Round = %d", i, r.Round)
+		}
+		msgs += r.Messages
+		deliveries += r.Deliveries
+	}
+	if msgs != stats.Messages {
+		t.Errorf("per-round messages sum to %d, Stats.Messages = %d", msgs, stats.Messages)
+	}
+	sent, recv := 0, 0
+	for _, s := range stats.NodeSent {
+		sent += s
+	}
+	for _, r := range stats.NodeRecv {
+		recv += r
+	}
+	if sent != stats.Messages {
+		t.Errorf("NodeSent sums to %d, Stats.Messages = %d", sent, stats.Messages)
+	}
+	if recv != deliveries {
+		t.Errorf("NodeRecv sums to %d, per-round deliveries = %d", recv, deliveries)
+	}
+
+	events := 0
+	for _, rec := range ring.Records() {
+		if rec.Kind == obs.KindEvent && rec.Name == "round" {
+			events++
+		}
+	}
+	if events != len(stats.PerRound) {
+		t.Errorf("%d round events for %d recorded rounds", events, len(stats.PerRound))
+	}
+}
+
+// TestBroadcastCountsOneTransmission pins the paper's message accounting: a
+// wireless broadcast is one transmission regardless of how many neighbors
+// hear it, i.e. one per active node per round.
+func TestBroadcastCountsOneTransmission(t *testing.T) {
+	const n = 6
+	g := star(n)
+	nodes := make([]*echoOnce, n)
+	programs := make([]simnet.Program, n)
+	for i := range nodes {
+		nodes[i] = &echoOnce{}
+		programs[i] = nodes[i]
+	}
+	sim, err := simnet.New(g, programs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RecordRounds, sim.RecordPerNode = true, true
+	stats, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node broadcast exactly once (at Init): n transmissions total,
+	// even though the hub alone reaches n-1 listeners.
+	if stats.Messages != n {
+		t.Fatalf("Messages = %d, want %d (one per broadcasting node)", stats.Messages, n)
+	}
+	if stats.PerRound[0].Messages != n {
+		t.Errorf("round 0 messages = %d, want %d", stats.PerRound[0].Messages, n)
+	}
+	for v, s := range stats.NodeSent {
+		if s != 1 {
+			t.Errorf("NodeSent[%d] = %d, want 1", v, s)
+		}
+	}
+	// The hub hears every spoke; each spoke hears only the hub.
+	if stats.NodeRecv[0] != n-1 {
+		t.Errorf("hub received %d, want %d", stats.NodeRecv[0], n-1)
+	}
+	for v := 1; v < n; v++ {
+		if stats.NodeRecv[v] != 1 {
+			t.Errorf("spoke %d received %d, want 1", v, stats.NodeRecv[v])
+		}
+	}
+}

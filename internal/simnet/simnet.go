@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"bfskel/internal/graph"
+	"bfskel/internal/obs"
 )
 
 // ErrRoundLimit is returned when a simulation does not quiesce within the
@@ -67,6 +68,7 @@ func (c *Context) Broadcast(payload any) {
 		c.sim.deliver(c.node, int(v), payload)
 	}
 	c.sim.stats.Messages++
+	c.sim.noteSend(c.node)
 }
 
 // Program is a per-node protocol state machine.
@@ -78,12 +80,37 @@ type Program interface {
 	Step(ctx *Context, inbox []Envelope)
 }
 
+// RoundStats records one synchronous round of a simulation. Round 0 covers
+// the Init pass (every node runs, initial messages are sent); rounds 1..R
+// cover the Step passes.
+type RoundStats struct {
+	// Round is the round index.
+	Round int `json:"round"`
+	// Messages is the number of transmissions initiated during this round
+	// (broadcast = 1 transmission, matching Stats.Messages accounting).
+	Messages int `json:"messages"`
+	// Deliveries is the number of envelopes handed to inboxes this round.
+	Deliveries int `json:"deliveries"`
+	// Active is the number of nodes that took a step (or Init) this round.
+	Active int `json:"active"`
+}
+
 // Stats summarises a finished simulation.
 type Stats struct {
 	// Rounds is the number of synchronous rounds until quiescence.
 	Rounds int
 	// Messages is the total number of node-to-node messages delivered.
 	Messages int
+
+	// PerRound holds one entry per executed round (index 0 = Init) when
+	// Sim.RecordRounds was set; nil otherwise. The Messages entries sum to
+	// Stats.Messages exactly.
+	PerRound []RoundStats `json:",omitempty"`
+	// NodeSent and NodeRecv count per-node transmissions and received
+	// envelopes when Sim.RecordPerNode was set; nil otherwise. A broadcast
+	// counts one send for the transmitter and one receive per neighbor.
+	NodeSent []int `json:",omitempty"`
+	NodeRecv []int `json:",omitempty"`
 }
 
 // Sim drives a set of Programs over a connectivity graph.
@@ -107,6 +134,17 @@ type Sim struct {
 	Jitter int
 	// JitterSeed makes jittered runs reproducible.
 	JitterSeed int64
+
+	// RecordRounds enables per-round accounting into Stats.PerRound.
+	RecordRounds bool
+	// RecordPerNode enables per-node send/receive counters into
+	// Stats.NodeSent / Stats.NodeRecv.
+	RecordPerNode bool
+	// Span, when non-nil, receives one "round" trace event per executed
+	// round (including round 0 / Init) with message, delivery and
+	// active-node counts — the round-by-round curve behind the paper's
+	// O(sqrt(n)) claim.
+	Span *obs.Span
 }
 
 // delivery is an in-flight message with its arrival round.
@@ -133,6 +171,20 @@ func New(g *graph.Graph, programs []Program) (*Sim, error) {
 func (s *Sim) post(from, to int, payload any) {
 	s.deliver(from, to, payload)
 	s.stats.Messages++
+	s.noteSend(from)
+}
+
+// noteSend and noteRecv feed the optional per-node counters.
+func (s *Sim) noteSend(from int) {
+	if s.stats.NodeSent != nil {
+		s.stats.NodeSent[from]++
+	}
+}
+
+func (s *Sim) noteRecv(to int) {
+	if s.stats.NodeRecv != nil {
+		s.stats.NodeRecv[to]++
+	}
 }
 
 // deliver queues a message without touching the transmission counter. With
@@ -147,6 +199,7 @@ func (s *Sim) deliver(from, to int, payload any) {
 	}
 	s.pending[arrival] = append(s.pending[arrival], delivery{to: to, env: Envelope{From: from, Payload: payload}})
 	s.inFlight++
+	s.noteRecv(to)
 }
 
 // Run executes Init on every node and then rounds until no messages are in
@@ -157,9 +210,18 @@ func (s *Sim) Run() (Stats, error) {
 		limit = 4*s.g.N() + 64
 	}
 	s.round = 0
+	if s.RecordPerNode {
+		s.stats.NodeSent = make([]int, s.g.N())
+		s.stats.NodeRecv = make([]int, s.g.N())
+	}
+	record := s.RecordRounds || s.Span != nil
+	sent := s.stats.Messages
 	for v := range s.programs {
 		ctx := Context{sim: s, node: v}
 		s.programs[v].Init(&ctx)
+	}
+	if record {
+		s.noteRound(0, s.stats.Messages-sent, 0, len(s.programs))
 	}
 	for {
 		if s.inFlight == 0 {
@@ -174,12 +236,29 @@ func (s *Sim) Run() (Stats, error) {
 		delete(s.pending, s.round)
 		s.inFlight -= len(arrivals)
 		touched := touchedNodes(arrivals, s.inboxes)
+		sent = s.stats.Messages
 		for _, v := range touched {
 			ctx := Context{sim: s, node: v}
 			s.programs[v].Step(&ctx, s.inboxes[v])
 			s.inboxes[v] = s.inboxes[v][:0]
 		}
+		if record {
+			s.noteRound(s.round, s.stats.Messages-sent, len(arrivals), len(touched))
+		}
 	}
+}
+
+// noteRound records one round's accounting into Stats.PerRound and, when a
+// trace span is attached, as a "round" event.
+func (s *Sim) noteRound(round, messages, deliveries, active int) {
+	if s.RecordRounds {
+		s.stats.PerRound = append(s.stats.PerRound, RoundStats{
+			Round: round, Messages: messages, Deliveries: deliveries, Active: active,
+		})
+	}
+	s.Span.Event("round",
+		obs.Int("round", round), obs.Int("messages", messages),
+		obs.Int("deliveries", deliveries), obs.Int("active", active))
 }
 
 // touchedNodes distributes arrivals into inboxes and returns the receiving

@@ -1,0 +1,104 @@
+package bfskel
+
+import (
+	"io"
+
+	"bfskel/internal/core"
+	"bfskel/internal/obs"
+	"bfskel/internal/protocol"
+)
+
+// Re-exported observability types. A Tracer emits structured spans and
+// events to a pluggable sink; a MetricsRegistry accumulates counters,
+// gauges and histograms with JSON-snapshot and Prometheus-text exposition.
+// Both are nil-safe throughout: a nil Tracer or MetricsRegistry on any API
+// below records nothing and costs (nearly) nothing.
+type (
+	// Tracer assigns span IDs and fans records out to its sink.
+	Tracer = obs.Tracer
+	// Span is an in-flight traced operation; child spans and events hang
+	// off it.
+	Span = obs.Span
+	// TraceRecord is one span-start, span-end or event record.
+	TraceRecord = obs.Record
+	// TraceAttr is one key/value attribute on a record.
+	TraceAttr = obs.Attr
+	// TraceSink receives the records a Tracer emits.
+	TraceSink = obs.Sink
+	// JSONLSink streams records as JSON lines to a writer.
+	JSONLSink = obs.JSONLSink
+	// RingSink keeps the last records in memory (tests, postmortems).
+	RingSink = obs.RingSink
+	// MetricsRegistry names and stores counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-marshalable registry dump.
+	MetricsSnapshot = obs.Snapshot
+	// ProtocolOptions configures an observed distributed protocol run.
+	ProtocolOptions = protocol.Options
+)
+
+// Re-exported trace record kinds (TraceRecord.Kind).
+const (
+	TraceSpanStart = obs.KindSpanStart
+	TraceSpanEnd   = obs.KindSpanEnd
+	TraceEvent     = obs.KindEvent
+)
+
+// NewTracer builds a tracer emitting to the given sink.
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewJSONLSink builds a buffered JSONL sink over w; call Flush (or Close,
+// when w is also a closer) when the run is done.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewRingSink builds an in-memory sink retaining the last capacity records.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ParseTraceJSONL decodes one line previously written by a JSONLSink.
+func ParseTraceJSONL(line []byte) (TraceRecord, error) { return obs.ParseJSONL(line) }
+
+// ObsScope bundles the two observability handles threaded through the
+// library: a tracer for structured spans/events and a registry for
+// metrics. The zero value is fully inert.
+type ObsScope struct {
+	Tracer  *Tracer
+	Metrics *MetricsRegistry
+}
+
+// Instrument attaches the scope to an extraction engine: every subsequent
+// Extract emits one span per stage plus guard/election/flood events, and
+// accumulates bfskel_* metrics.
+func (s ObsScope) Instrument(e *Extractor) {
+	e.Tracer = s.Tracer
+	e.Metrics = s.Metrics
+}
+
+// ExtractorObs returns a staged extraction engine bound to the network's
+// graph with the scope's tracer and metrics attached.
+func (n *Network) ExtractorObs(sc ObsScope) *Extractor {
+	e := n.Extractor()
+	sc.Instrument(e)
+	return e
+}
+
+// RunProtocolPhasesObs is RunProtocolPhases with full observability
+// control: tracing ("protocol" and "phase.<name>" spans with per-round
+// events), metrics, per-round stats and per-node counters (see
+// ProtocolOptions).
+func RunProtocolPhasesObs(net *Network, k, l, scope int, alpha int32, opts ProtocolOptions) (*DistributedResult, error) {
+	return protocol.RunOpts(net.Graph, k, l, scope, alpha, opts)
+}
+
+// ExtractBatchObs is ExtractBatch with the scope's tracer and metrics
+// attached to the shared engine: each item's run emits its own "extract"
+// span tree.
+func ExtractBatchObs(items []BatchItem, sc ObsScope) ([]*Result, error) {
+	jobs := make([]core.BatchJob, len(items))
+	for i, it := range items {
+		jobs[i] = core.BatchJob{G: it.Network.Graph, P: it.Params}
+	}
+	return core.ExtractBatchObs(jobs, sc.Tracer, sc.Metrics)
+}
