@@ -90,7 +90,7 @@ func run() error {
 	if *fig != "" {
 		figures = []string{*fig}
 	}
-	rep := report{Date: time.Now().UTC().Format(time.RFC3339), Seed: *seed}
+	rep := report{Date: time.Now().UTC().Format(time.RFC3339), Seed: *seed} //lint:allow determinism report date stamp; results are keyed by Seed
 	for _, f := range figures {
 		rows, err := bfskel.RunFigureObs(f, *seed, ob)
 		if err != nil {

@@ -287,21 +287,30 @@ func summarize(tr *trace, topK int) {
 			sp.name, sp.id, len(sp.rounds)-1, total, strings.Join(curve, " "), ell)
 	}
 
-	// Hottest nodes over all per-node counter events.
+	// Hottest nodes over all per-node counter events. Walk spans in start
+	// order (tr.order), not map order, so the tallies — and therefore the
+	// report — are identical across runs; grow each tally to its own
+	// length so neither one silently drops the other's tail.
 	var sent, recv []float64
-	for _, sp := range tr.spans {
+	for _, id := range tr.order {
+		sp := tr.spans[id]
 		for i, v := range sp.sent {
 			if i >= len(sent) {
 				sent = append(sent, make([]float64, i+1-len(sent))...)
-				recv = append(recv, make([]float64, i+1-len(recv))...)
 			}
 			sent[i] += v
 		}
 		for i, v := range sp.recv {
-			if i < len(recv) {
-				recv[i] += v
+			if i >= len(recv) {
+				recv = append(recv, make([]float64, i+1-len(recv))...)
 			}
+			recv[i] += v
 		}
+	}
+	if len(recv) < len(sent) {
+		recv = append(recv, make([]float64, len(sent)-len(recv))...)
+	} else if len(sent) < len(recv) {
+		sent = append(sent, make([]float64, len(recv)-len(sent))...)
 	}
 	if len(sent) > 0 && topK > 0 {
 		type hot struct {

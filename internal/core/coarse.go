@@ -28,6 +28,11 @@ func coarse(g *graph.Graph, index []float64, records [][]SiteDist) ([]SiteEdge, 
 		}
 	}
 
+	// Iterate pairs in sorted (A, B) order, never in map order: the edge
+	// list, the path union and the trace all follow this order, and the
+	// fixed-seed determinism tests compare them bit-for-bit. The
+	// collect-keys-then-sort shape is what the determinism analyzer
+	// (cmd/skellint) expects; walking pairSegs directly is a finding.
 	pairs := make([]SitePair, 0, len(pairSegs))
 	for p := range pairSegs {
 		pairs = append(pairs, p)
@@ -99,7 +104,10 @@ func bandEndNodes(g *graph.Graph, segs []int32, connector int32) (int32, int32) 
 
 // farthestInBand runs a BFS from src that traverses band nodes (allowing
 // the same one-hop bridges as bandComponents) and returns the farthest
-// reached band node (src if none).
+// reached band node (src if none). The tie-break is explicit: among nodes
+// at the maximum distance, the lowest node ID wins, so the selected end
+// node is a pure function of the band — inBand is only ever used for
+// membership tests, never iterated.
 func farthestInBand(g *graph.Graph, src int32, inBand map[int32]bool) int32 {
 	dist := map[int32]int32{src: 0}
 	queue := []int32{src}
@@ -109,6 +117,7 @@ func farthestInBand(g *graph.Graph, src int32, inBand map[int32]bool) int32 {
 			return
 		}
 		dist[v] = d
+		// Strictly farther wins; at equal distance the lower ID wins.
 		if d > dist[far] || (d == dist[far] && v < far) {
 			far = v
 		}

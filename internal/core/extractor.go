@@ -53,14 +53,14 @@ type Extractor struct {
 	visited atomic.Int64
 
 	// Reusable scratch; none of it escapes into results.
-	ballsFlat []int    // n*maxR cumulative ball sizes (identify)
-	balls     [][]int  // row views into ballsFlat
-	ints      []int    // median / boundary sort scratch
-	bools     []bool   // electSites maximality flags
-	vorDist   []int32  // voronoi: per-site BFS distances
-	vorStamp  []int32  // voronoi: visit stamps
-	vorParent []int32  // voronoi: reverse-path parents
-	vorQueue  []int32  // voronoi: BFS queue
+	ballsFlat []int   // n*maxR cumulative ball sizes (identify)
+	balls     [][]int // row views into ballsFlat
+	ints      []int   // median / boundary sort scratch
+	bools     []bool  // electSites maximality flags
+	vorDist   []int32 // voronoi: per-site BFS distances
+	vorStamp  []int32 // voronoi: visit stamps
+	vorParent []int32 // voronoi: reverse-path parents
+	vorQueue  []int32 // voronoi: BFS queue
 }
 
 // NewExtractor creates a staged engine bound to g. The scratch pools are
@@ -195,7 +195,7 @@ func (rs *runState) runStages(todo []stage) error {
 		obs.Int("nodes", rs.g.N()), obs.Int("k", rs.p.K), obs.Int("l", rs.p.L),
 		obs.Int("scope", rs.p.Scope()), obs.Int("alpha", int(rs.p.Alpha)),
 		obs.Int("stages", len(todo)))
-	start := time.Now()
+	start := time.Now() //lint:allow determinism Stats.Total is wall-clock timing, not part of the result
 	for _, st := range todo {
 		if err := rs.runStage(st); err != nil {
 			e.root.End(obs.Str("error", err.Error()))
@@ -229,7 +229,7 @@ func (rs *runState) runStage(st stage) error {
 	}
 	sweeps0, visited0 := e.sweeps.Load(), e.visited.Load()
 	e.span = e.root.StartSpan("stage." + st.name())
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow determinism PhaseStats.Duration is wall-clock timing, not part of the result
 	err := st.run(rs)
 	d := time.Since(t0)
 	sweeps, visited := e.sweeps.Load()-sweeps0, e.visited.Load()-visited0

@@ -34,7 +34,7 @@ func Weighted(pg *geom.Polygon, n int, seed int64, accept func(geom.Point) float
 	if n <= 0 {
 		return nil, fmt.Errorf("deploy: node count must be positive, got %d", n)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed)) //lint:allow determinism seeded by caller; deployments are reproducible per seed
 	b := pg.Bounds()
 	out := make([]geom.Point, 0, n)
 	budget := n * maxRejectionFactor
@@ -61,7 +61,7 @@ func Weighted(pg *geom.Polygon, n int, seed int64, accept func(geom.Point) float
 // Thin keeps each point of a deployment independently with probability
 // keep(p), reproducing the "sample drawn from" construction of Fig. 8.
 func Thin(pts []geom.Point, seed int64, keep func(geom.Point) float64) []geom.Point {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed)) //lint:allow determinism seeded by caller; deployments are reproducible per seed
 	var out []geom.Point
 	for _, p := range pts {
 		if rng.Float64() < keep(p) {
@@ -107,7 +107,7 @@ func HalfPlane(splitX, leftProb, rightProb float64) func(geom.Point) float64 {
 // jittered by at most jitter in each coordinate, keeping only points inside
 // the polygon. Useful for deterministic low-variance test networks.
 func PerturbedGrid(pg *geom.Polygon, spacing, jitter float64, seed int64) []geom.Point {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed)) //lint:allow determinism seeded by caller; deployments are reproducible per seed
 	b := pg.Bounds()
 	var out []geom.Point
 	for y := b.Min.Y + spacing/2; y < b.Max.Y; y += spacing {

@@ -1,6 +1,5 @@
 package graph
 
-
 // BFS returns hop distances from src to every node (Unreachable for nodes in
 // other components).
 func (g *Graph) BFS(src int) []int32 {

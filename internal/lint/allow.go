@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// allow is one parsed //lint:allow annotation.
+type allow struct {
+	check  string
+	reason string
+}
+
+// allowIndex locates annotations by (module-relative file, line). A
+// diagnostic is suppressed by a matching annotation on its own line (a
+// trailing comment) or on the line directly above it.
+type allowIndex struct {
+	byFileLine map[string]map[int][]*allow
+}
+
+// collectAllows parses every //lint:allow comment of the package. Malformed
+// annotations — missing reason, unknown check name, unknown directive — are
+// returned as diagnostics under the check name "allow".
+func collectAllows(pkg *Package, known map[string]bool) (*allowIndex, []Diagnostic) {
+	idx := &allowIndex{byFileLine: make(map[string]map[int][]*allow)}
+	var malformed []Diagnostic
+	reportf := func(pos int, file string, line int, msg string) {
+		malformed = append(malformed, Diagnostic{
+			Check: "allow", File: file, Line: line, Col: pos, Message: msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:") {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				file := position.Filename
+				if rel, err := filepath.Rel(pkg.ModDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = filepath.ToSlash(rel)
+				}
+				fields := strings.Fields(text)
+				if fields[0] != "lint:allow" {
+					reportf(position.Column, file, position.Line,
+						"unknown lint directive "+fields[0]+"; only //lint:allow <check> <reason> is recognized")
+					continue
+				}
+				if len(fields) < 3 {
+					reportf(position.Column, file, position.Line,
+						"malformed annotation: want //lint:allow <check> <reason>")
+					continue
+				}
+				check := fields[1]
+				if !known[check] {
+					reportf(position.Column, file, position.Line,
+						"//lint:allow names unknown check "+check)
+					continue
+				}
+				lines := idx.byFileLine[file]
+				if lines == nil {
+					lines = make(map[int][]*allow)
+					idx.byFileLine[file] = lines
+				}
+				lines[position.Line] = append(lines[position.Line],
+					&allow{check: check, reason: strings.Join(fields[2:], " ")})
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// suppress reports whether an annotation covers the diagnostic.
+func (idx *allowIndex) suppress(d Diagnostic) bool {
+	lines := idx.byFileLine[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		for _, a := range lines[line] {
+			if a.check == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// AtomicMix catches the memory-model violation the race detector only sees
+// when the schedule cooperates: a struct field that is accessed through
+// sync/atomic anywhere in the package must be accessed that way everywhere.
+// A plain read beside an atomic.AddInt64 is a data race even when it
+// "usually works".
+//
+// Fields of the modern atomic.Int64-style wrapper types are safe by
+// construction (no plain operations exist) and are not tracked; the check
+// targets the legacy pattern of raw integer fields passed by address to
+// the sync/atomic functions.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a struct field accessed via sync/atomic functions must never be " +
+		"read or written non-atomically elsewhere in the package",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass A: fields whose address is taken by a sync/atomic call, plus the
+	// selector nodes sanctioned by appearing inside those calls.
+	atomicAt := make(map[*types.Var]token.Pos)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods of atomic.Int64 etc.: safe by type
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field, ok := info.Uses[sel.Sel].(*types.Var)
+				if !ok || !field.IsField() {
+					continue
+				}
+				if _, seen := atomicAt[field]; !seen {
+					atomicAt[field] = call.Pos()
+				}
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass B: every other selector resolving to one of those fields is a
+	// mixed-model access.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			field, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !field.IsField() {
+				return true
+			}
+			pos, ok := atomicAt[field]
+			if !ok {
+				return true
+			}
+			p.Reportf(sel.Sel.Pos(), "non-atomic access to field %s, which is accessed via "+
+				"sync/atomic at %s: mixing atomic and plain access is a data race",
+				field.Name(), p.shortPos(pos))
+			return true
+		})
+	}
+}
+
+// shortPos renders a position module-relative for stable messages.
+func (p *Pass) shortPos(pos token.Pos) string {
+	position := p.Pkg.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.Pkg.ModDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return file + ":" + strconv.Itoa(position.Line)
+}

@@ -1,0 +1,62 @@
+package lint
+
+import "strings"
+
+// Scope restricts a check to parts of the module tree. Prefixes are
+// module-relative directories; "internal/core" covers that package and
+// everything below it, "cmd" covers every command. An empty Include list
+// means the check runs everywhere not excluded.
+type Scope struct {
+	Include []string
+	Exclude []string
+}
+
+// Config maps check names to their package scope. Checks without an entry
+// run on every package.
+type Config struct {
+	Scopes map[string]Scope
+}
+
+// DefaultConfig is the repository policy:
+//
+//   - determinism runs over the pipeline packages whose outputs must be a
+//     pure function of the seed (core, graph, protocol, simnet, deploy),
+//     plus internal/obs (whose contract confines wall-clock to Time/Dur)
+//     and the CLIs (so a stray report timestamp needs a sanction comment).
+//   - obsnil runs everywhere except inside internal/obs itself, which owns
+//     the handle internals.
+//   - poolpair and atomicmix run everywhere.
+func DefaultConfig() *Config {
+	return &Config{Scopes: map[string]Scope{
+		"determinism": {Include: []string{
+			"internal/core", "internal/graph", "internal/protocol",
+			"internal/simnet", "internal/deploy", "internal/obs", "cmd",
+		}},
+		"obsnil": {Exclude: []string{"internal/obs"}},
+	}}
+}
+
+// Enabled reports whether the named check applies to the package at the
+// given module-relative directory.
+func (c *Config) Enabled(check, rel string) bool {
+	if c == nil {
+		return true
+	}
+	sc, ok := c.Scopes[check]
+	if !ok {
+		return true
+	}
+	if len(sc.Include) > 0 && !matchAny(rel, sc.Include) {
+		return false
+	}
+	return !matchAny(rel, sc.Exclude)
+}
+
+func matchAny(rel string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}

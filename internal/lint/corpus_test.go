@@ -1,0 +1,153 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bfskel/internal/lint"
+)
+
+// The corpus under testdata/src/example.com/skel holds one positive and one
+// suppressed/negative file per analyzer. Expectations are `// want "re"`
+// comments on the line the diagnostic must land on; every diagnostic must
+// match a want and every want must be matched.
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	pattern string
+	re      *regexp.Regexp
+	used    bool
+}
+
+func loadCorpus(t *testing.T) ([]*lint.Package, string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "example.com", "skel")
+	l := lint.NewLoaderAt(dir, "example.com/skel")
+	pkgs, errs := l.LoadPatterns([]string{"./..."})
+	for _, err := range errs {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Fatalf("corpus must type-check cleanly; %s: %v", pkg.Path, te)
+		}
+	}
+	return pkgs, dir
+}
+
+func loadWants(t *testing.T, dir string) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, line, m[1], err)
+				}
+				key := fmt.Sprintf("%s:%d", rel, line)
+				wants[key] = append(wants[key], &want{pattern: m[1], re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func TestAnalyzerCorpus(t *testing.T) {
+	pkgs, dir := loadCorpus(t)
+	wants := loadWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatal("corpus has no want expectations; harness is broken")
+	}
+
+	res := lint.Run(pkgs, lint.All(), lint.DefaultConfig())
+	for _, d := range res.Diagnostics {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, list := range wants {
+		for _, w := range list {
+			if !w.used {
+				t.Errorf("missing diagnostic at %s matching %q", key, w.pattern)
+			}
+		}
+	}
+	if res.Suppressed == 0 {
+		t.Error("corpus exercises //lint:allow but nothing was suppressed")
+	}
+}
+
+// TestCorpusPerCheck asserts each analyzer individually produces findings
+// on its positive file and none on its suppressed/negative file — i.e.
+// every check fails without its fix or annotation and passes with it.
+func TestCorpusPerCheck(t *testing.T) {
+	pkgs, _ := loadCorpus(t)
+	positives := map[string]string{
+		"determinism": "internal/core/determinism_bad.go",
+		"obsnil":      "internal/app/obsnil_bad.go",
+		"poolpair":    "internal/app/poolpair_bad.go",
+		"atomicmix":   "internal/app/atomicmix_bad.go",
+	}
+	negatives := map[string]string{
+		"determinism": "internal/core/determinism_ok.go",
+		"obsnil":      "internal/app/obsnil_ok.go",
+		"poolpair":    "internal/app/poolpair_ok.go",
+		"atomicmix":   "internal/app/atomicmix_ok.go",
+	}
+	for _, a := range lint.All() {
+		analyzers, err := lint.ByName(a.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := lint.Run(pkgs, analyzers, lint.DefaultConfig())
+		hitPositive := false
+		for _, d := range res.Diagnostics {
+			if d.File == positives[a.Name] {
+				hitPositive = true
+			}
+			if d.File == negatives[a.Name] {
+				t.Errorf("%s: finding on negative file: %s", a.Name, d)
+			}
+		}
+		if !hitPositive {
+			t.Errorf("%s: no finding on positive file %s", a.Name, positives[a.Name])
+		}
+		if res.Suppressed == 0 {
+			t.Errorf("%s: suppressed case did not engage //lint:allow", a.Name)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package lint is the repository's self-contained static-analysis engine,
+// built only on the Go standard library (go/parser, go/ast, go/types,
+// go/token — no x/tools). It machine-checks the invariants the rest of the
+// codebase relies on by convention: bit-for-bit determinism of the
+// extraction pipeline, the nil-safe observability contract of internal/obs,
+// sync.Pool scratch hygiene in the staged engine, and consistent
+// sync/atomic usage. See DESIGN.md "Static invariants" and cmd/skellint.
+//
+// A finding is suppressed by an annotation on the same line or the line
+// directly above it:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory; a malformed or unknown-check annotation is
+// itself reported (check name "allow").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"` // module-relative, slash-separated
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Pkg    *Package
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.Pkg.ModDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	p.report(Diagnostic{
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer the suite ships, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ObsNil, PoolPair, AtomicMix}
+}
+
+// ByName resolves a comma-separated check list against All.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Packages    int          `json:"packages"`
+	Suppressed  int          `json:"suppressed"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Run executes the analyzers over the packages, applying the per-package
+// scope configuration and //lint:allow suppression, and returns the
+// surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) *Result {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		allows, malformed := collectAllows(pkg, known)
+		res.Diagnostics = append(res.Diagnostics, malformed...)
+		for _, a := range analyzers {
+			if !cfg.Enabled(a.Name, pkg.Rel) {
+				continue
+			}
+			var found []Diagnostic
+			pass := &Pass{Pkg: pkg, report: func(d Diagnostic) {
+				d.Check = a.Name
+				found = append(found, d)
+			}}
+			a.Run(pass)
+			for _, d := range found {
+				if allows.suppress(d) {
+					res.Suppressed++
+					continue
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return res
+}
+
+// ---- shared AST/type helpers used by the analyzers ----
+
+// calleeFunc resolves the called function or method of a call expression,
+// or nil when the callee is not a statically known *types.Func.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring fn
+// ("" for builtins/universe).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// rootObj resolves the object an lvalue-ish expression ultimately names:
+// the variable for an identifier, the field for a selector chain.
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// exprMentions reports whether expr references obj anywhere inside it.
+func exprMentions(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// forEachFuncBody invokes fn once per function body in the file: every
+// FuncDecl body and every FuncLit body (each treated as its own scope).
+func forEachFuncBody(f *ast.File, fn func(*ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Body)
+		}
+		return true
+	})
+}
+
+// inspectSkippingFuncLits walks the subtree rooted at root without
+// descending into nested function literals (they are separate scopes).
+func inspectSkippingFuncLits(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// within reports whether pos falls inside node's source range.
+func within(node ast.Node, pos token.Pos) bool {
+	return pos >= node.Pos() && pos <= node.End()
+}

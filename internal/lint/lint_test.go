@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"bfskel/internal/lint"
+)
+
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("determinism,poolpair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Name != "determinism" || all[1].Name != "poolpair" {
+		t.Fatalf("ByName returned %v", all)
+	}
+	if _, err := lint.ByName("nosuchcheck"); err == nil {
+		t.Fatal("ByName accepted an unknown check")
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cases := []struct {
+		check, rel string
+		want       bool
+	}{
+		{"determinism", "internal/core", true},
+		{"determinism", "internal/core/sub", true},
+		{"determinism", "internal/corefake", false},
+		{"determinism", "internal/lint", false},
+		{"obsnil", "internal/obs", false},
+		{"obsnil", "internal/core", true},
+		{"poolpair", "anything/at/all", true},
+	}
+	for _, c := range cases {
+		if got := cfg.Enabled(c.check, c.rel); got != c.want {
+			t.Errorf("Enabled(%q, %q) = %v, want %v", c.check, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Check: "determinism", File: "internal/core/coarse.go", Line: 49, Col: 2, Message: "boom"}
+	got := d.String()
+	if !strings.Contains(got, "internal/core/coarse.go:49:2") || !strings.Contains(got, "[determinism]") {
+		t.Fatalf("Diagnostic.String() = %q", got)
+	}
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	Path   string // full import path (ModulePath[/Rel])
+	Rel    string // module-relative directory; "" for the root package
+	Dir    string // absolute directory
+	ModDir string // absolute module root (for relativizing positions)
+	Fset   *token.FileSet
+	Files  []*ast.File // non-test files only
+	Types  *types.Package
+	Info   *types.Info
+	// TypeErrors collects type-checking problems. Analysis continues past
+	// them, but diagnostics that depend on the broken types may be missed,
+	// so callers should surface these.
+	TypeErrors []error
+}
+
+// Loader loads the packages of a single module from source and type-checks
+// them, resolving standard-library imports through the stdlib source
+// importer — no toolchain invocation, no export data, no x/tools. Packages
+// are memoized per import path, so shared dependencies are checked once.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// NewLoader creates a loader rooted at moduleDir, reading the module path
+// from its go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", moduleDir)
+	}
+	return NewLoaderAt(moduleDir, string(m[1])), nil
+}
+
+// NewLoaderAt creates a loader for a source tree that may not carry a
+// go.mod (the analyzer test corpora), with an explicit module path.
+func NewLoaderAt(moduleDir, modulePath string) *Loader {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		abs = moduleDir
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer: module-internal paths load from source
+// under ModuleDir; everything else goes to the stdlib source importer. An
+// unresolvable path degrades to an empty placeholder package so one broken
+// import cannot take the whole run down (the resulting type errors are
+// recorded on the importing package).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	fake := types.NewPackage(path, name)
+	fake.MarkComplete()
+	return fake, nil
+}
+
+// LoadPatterns loads the packages matched by the given patterns. A pattern
+// is a module-relative directory ("internal/core", "./cmd/skellint") or a
+// recursive form ending in "/..." ("./...", "internal/..."). Load failures
+// are returned alongside whatever did load.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, []error) {
+	rels, err := l.expand(patterns)
+	if err != nil {
+		return nil, []error{err}
+	}
+	var (
+		pkgs []*Package
+		errs []error
+	)
+	for _, rel := range rels {
+		path := l.ModulePath
+		if rel != "" {
+			path += "/" + rel
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, errs
+}
+
+// expand resolves patterns to the sorted set of module-relative package
+// directories they cover.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	all, err := l.discover()
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/")
+		switch {
+		case pat == "..." || pat == "":
+			for _, rel := range all {
+				set[rel] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			matched := false
+			for _, rel := range all {
+				if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+					set[rel] = true
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+			}
+		default:
+			rel := strings.TrimPrefix(pat, l.ModulePath)
+			rel = strings.TrimPrefix(rel, "/")
+			found := false
+			for _, r := range all {
+				if r == rel {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+			}
+			set[rel] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for rel := range set {
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// discover walks the module tree and returns every directory holding at
+// least one non-test Go file, as module-relative slash paths.
+func (l *Loader) discover() ([]string, error) {
+	var rels []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if isLintableFile(e.Name()) {
+				rel, err := filepath.Rel(l.ModuleDir, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					rel = ""
+				}
+				rels = append(rels, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking %s: %w", l.ModuleDir, err)
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+func isLintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// load parses and type-checks one package by import path, memoized.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	pkg := &Package{
+		Path:   path,
+		Rel:    rel,
+		Dir:    dir,
+		ModDir: l.ModuleDir,
+		Fset:   l.fset,
+		Files:  files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// The first error is also folded into TypeErrors by the handler above;
+	// analysis proceeds on whatever type information survived.
+	tpkg, _ := conf.Check(path, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every lintable file of one directory. Files whose package
+// clause disagrees with the directory majority (stray tooling files) are
+// skipped rather than fatal.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isLintableFile(e.Name()) {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) > 1 {
+		name := files[0].Name.Name
+		kept := files[:0]
+		for _, f := range files {
+			if f.Name.Name == name {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+	}
+	return files, nil
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsHandleNames is the nil-safe method-set contract of internal/obs: a nil
+// pointer of any of these types is a valid disabled instrument, so call
+// sites must never reach around the methods.
+var obsHandleNames = map[string]bool{
+	"Tracer": true, "Registry": true, "Span": true,
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// ObsNil enforces the observability contract outside internal/obs: the
+// handle types are used only through their nil-safe methods. Direct field
+// access reads through a possibly-nil pointer, and dereferencing (copying)
+// a handle produces a value whose methods bypass the nil-receiver guards —
+// both panic exactly when observability is disabled, the configuration the
+// hot paths rely on.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc: "obs handles (*Tracer, *Registry, *Span, instruments) must be used " +
+		"through their nil-safe method set: no field access, no dereference",
+	Run: runObsNil,
+}
+
+func runObsNil(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := info.Selections[e]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if name, ok := obsHandle(sel.Recv()); ok {
+					p.Reportf(e.Sel.Pos(), "direct access to field %s of nil-safe obs.%s: "+
+						"go through the method set so a disabled (nil) handle stays inert",
+						e.Sel.Name, name)
+				}
+			case *ast.StarExpr:
+				if tv, ok := info.Types[e]; ok && tv.IsType() {
+					return true // pointer type expression, not a dereference
+				}
+				xt, ok := info.Types[e.X]
+				if !ok || !xt.IsValue() {
+					return true
+				}
+				ptr, ok := xt.Type.Underlying().(*types.Pointer)
+				if !ok {
+					return true
+				}
+				if name, ok := obsHandle(ptr.Elem()); ok {
+					p.Reportf(e.Pos(), "dereference of nil-safe *obs.%s: copying the handle "+
+						"defeats the nil-receiver contract (and panics when observability is off); "+
+						"keep the pointer", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// obsHandle reports whether t (possibly behind a pointer) is one of the
+// nil-safe handle types of an internal/obs package, returning its name.
+func obsHandle(t types.Type) (string, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if path != "internal/obs" && !strings.HasSuffix(path, "/internal/obs") {
+		return "", false
+	}
+	if !obsHandleNames[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteHuman renders the result as gcc-style file:line:col lines plus a
+// one-line summary.
+func (r *Result) WriteHuman(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	summary := fmt.Sprintf("skellint: %d finding(s) in %d package(s)", len(r.Diagnostics), r.Packages)
+	if len(r.Diagnostics) == 0 {
+		summary = fmt.Sprintf("skellint: ok (%d packages", r.Packages)
+		if r.Suppressed > 0 {
+			summary += fmt.Sprintf(", %d suppressed by //lint:allow", r.Suppressed)
+		}
+		summary += ")"
+	}
+	_, err := fmt.Fprintln(w, summary)
+	return err
+}
+
+// jsonResult is the machine-readable exposition of a run.
+type jsonResult struct {
+	Packages    int          `json:"packages"`
+	Suppressed  int          `json:"suppressed"`
+	Findings    int          `json:"findings"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders the result as a single JSON object. Diagnostics is
+// always a list (never null) so consumers can index unconditionally.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := jsonResult{
+		Packages:    r.Packages,
+		Suppressed:  r.Suppressed,
+		Findings:    len(r.Diagnostics),
+		Diagnostics: r.Diagnostics,
+	}
+	if out.Diagnostics == nil {
+		out.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

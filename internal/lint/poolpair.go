@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair enforces sync.Pool scratch hygiene: an object taken out of a
+// pool must go back. Within a function, every Pool.Get needs a matching
+// Put — ideally deferred, so early returns cannot leak the scratch (the
+// staged Extractor's whole allocation win rests on this).
+//
+// The check also understands this package's accessor idiom: a function
+// that returns the Get result (like Extractor.getWalker) is a pool
+// accessor, and a function that Puts a parameter back (putWalker) is its
+// releaser. Call sites of such wrappers are then held to the same Get/Put
+// pairing rules, and a function that passes the accessor around as a
+// method value must hand off the releaser with it.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc: "every sync.Pool.Get (or pool-accessor call) must be paired with " +
+		"a Put on all return paths, typically via defer",
+	Run: runPoolPair,
+}
+
+// poolOp is one Get or Put occurrence inside a function body.
+type poolOp struct {
+	call     *ast.CallExpr
+	key      types.Object // pool variable/field, or accessor's pool key; nil if opaque
+	label    string       // how to name the operation in diagnostics
+	putLabel string       // for gets: the name of the matching release op
+	accessor bool         // gets only: result escapes via return
+	deferred bool         // puts only: runs under defer
+	isParam  bool         // puts only: the released value is a parameter
+	valueRef bool         // gets only: wrapper referenced as a value, not called
+}
+
+func runPoolPair(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: classify package functions into pool accessors (return a
+	// fresh Get) and releasers (Put a parameter back), keyed by the pool
+	// object they wrap.
+	accessors := make(map[types.Object]types.Object) // func -> pool key
+	releasers := make(map[types.Object]types.Object) // func -> pool key
+	releaserName := make(map[types.Object]string)    // pool key -> releaser name
+	forEachFuncDecl(p, func(fd *ast.FuncDecl) {
+		fobj := info.Defs[fd.Name]
+		if fobj == nil {
+			return
+		}
+		gets, puts := collectPoolOps(p, fd)
+		for _, g := range gets {
+			if g.accessor && g.key != nil {
+				accessors[fobj] = g.key
+			}
+		}
+		for _, pt := range puts {
+			if pt.isParam && pt.key != nil {
+				releasers[fobj] = pt.key
+				releaserName[pt.key] = fd.Name.Name
+			}
+		}
+	})
+
+	// Pass 2: check every function's Get/Put pairing, with wrapper calls
+	// folded in as synthetic ops.
+	forEachFuncDecl(p, func(fd *ast.FuncDecl) {
+		gets, puts := collectPoolOps(p, fd)
+		wGets, wPuts := collectWrapperOps(p, fd, accessors, releasers, releaserName)
+		checkPoolFunc(p, fd, append(gets, wGets...), append(puts, wPuts...))
+	})
+}
+
+func forEachFuncDecl(p *Pass, fn func(*ast.FuncDecl)) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// collectPoolOps finds the raw sync.Pool Get/Put calls of one function
+// (closures included: a Put inside a deferred literal still releases).
+func collectPoolOps(p *Pass, fd *ast.FuncDecl) (gets, puts []poolOp) {
+	info := p.Pkg.Info
+	returns := collectReturns(fd.Body)
+	defers := collectDefers(fd.Body)
+	params := paramObjs(info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || !isSyncPoolMethod(fn) {
+			return true
+		}
+		key := rootObj(info, sel.X)
+		switch fn.Name() {
+		case "Get":
+			op := poolOp{call: call, key: key, label: "sync.Pool.Get", putLabel: "Put"}
+			op.accessor = escapesViaReturn(info, fd.Body, call, returns)
+			gets = append(gets, op)
+		case "Put":
+			op := poolOp{call: call, key: key, label: "sync.Pool.Put"}
+			op.deferred = underAnyDefer(defers, call.Pos())
+			if len(call.Args) == 1 {
+				if obj := rootObj(info, call.Args[0]); obj != nil && params[obj] {
+					op.isParam = true
+				}
+			}
+			puts = append(puts, op)
+		}
+		return true
+	})
+	return gets, puts
+}
+
+// collectWrapperOps finds calls to (and method-value references of) the
+// package's pool accessors and releasers inside one function, turning them
+// into synthetic Get/Put ops keyed by the wrapped pool.
+func collectWrapperOps(p *Pass, fd *ast.FuncDecl,
+	accessors, releasers map[types.Object]types.Object,
+	releaserName map[types.Object]string) (gets, puts []poolOp) {
+
+	info := p.Pkg.Info
+	fobj := info.Defs[fd.Name]
+	returns := collectReturns(fd.Body)
+	defers := collectDefers(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn == fobj {
+			return true // ignore recursion into the wrapper itself
+		}
+		if key, ok := accessors[fn]; ok {
+			op := poolOp{call: call, key: key, label: fn.Name(),
+				putLabel: releaserName[key]}
+			op.accessor = escapesViaReturn(info, fd.Body, call, returns)
+			gets = append(gets, op)
+		}
+		if key, ok := releasers[fn]; ok {
+			puts = append(puts, poolOp{call: call, key: key, label: fn.Name(),
+				deferred: underAnyDefer(defers, call.Pos())})
+		}
+		return true
+	})
+
+	// Method-value references: passing the accessor around without its
+	// releaser hands someone a Get they cannot Put.
+	var valueRefs []poolOp
+	releaserRef := make(map[types.Object]bool) // pool key -> releaser referenced
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if key, ok := releasers[obj]; ok {
+			releaserRef[key] = true
+		}
+		if key, ok := accessors[obj]; ok && !isCallee(fd.Body, id) {
+			valueRefs = append(valueRefs, poolOp{key: key, label: obj.Name(),
+				putLabel: releaserName[key], valueRef: true,
+				call: &ast.CallExpr{Fun: id}})
+		}
+		return true
+	})
+	for _, ref := range valueRefs {
+		if !releaserRef[ref.key] {
+			p.Reportf(ref.call.Fun.Pos(), "pool accessor %s is passed around without its "+
+				"releasing counterpart %s: the receiver cannot return the scratch to the pool",
+				ref.label, ref.putLabel)
+		}
+	}
+	return gets, puts
+}
+
+// checkPoolFunc applies the pairing rules to one function's merged ops.
+func checkPoolFunc(p *Pass, fd *ast.FuncDecl, gets, puts []poolOp) {
+	returns := collectReturns(fd.Body)
+	for _, g := range gets {
+		if g.accessor {
+			continue // pool accessor: the caller owns the object now
+		}
+		var matching []poolOp
+		for _, pt := range puts {
+			if g.key == nil || pt.key == nil || g.key == pt.key {
+				matching = append(matching, pt)
+			}
+		}
+		if len(matching) == 0 {
+			p.Reportf(g.call.Pos(), "%s result is never returned to the pool in %s: "+
+				"add a matching %s, typically deferred", g.label, fd.Name.Name, g.putLabel)
+			continue
+		}
+		deferred := false
+		last := token.NoPos
+		for _, pt := range matching {
+			if pt.deferred {
+				deferred = true
+			}
+			if pt.call.Pos() > last {
+				last = pt.call.Pos()
+			}
+		}
+		if deferred {
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() > g.call.End() && ret.End() < last {
+				p.Reportf(ret.Pos(), "return between %s and its %s in %s: the pooled "+
+					"object leaks on this path (release with defer)", g.label, g.putLabel,
+					fd.Name.Name)
+			}
+		}
+	}
+}
+
+// ---- small helpers ----
+
+func isSyncPoolMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func paramObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func collectReturns(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			out = append(out, r)
+		}
+		return true
+	})
+	return out
+}
+
+func collectDefers(body *ast.BlockStmt) []*ast.DeferStmt {
+	var out []*ast.DeferStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}
+
+func underAnyDefer(defers []*ast.DeferStmt, pos token.Pos) bool {
+	for _, d := range defers {
+		if within(d, pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// escapesViaReturn reports whether the call's result is returned from the
+// function: either the call sits inside a return statement, or it is
+// assigned to a variable that some return statement mentions.
+func escapesViaReturn(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr, returns []*ast.ReturnStmt) bool {
+	for _, ret := range returns {
+		if within(ret, call.Pos()) {
+			return true
+		}
+	}
+	var assigned types.Object
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || assigned != nil {
+			return assigned == nil
+		}
+		for i, rhs := range as.Rhs {
+			if within(rhs, call.Pos()) && i < len(as.Lhs) {
+				assigned = rootObj(info, as.Lhs[i])
+			}
+		}
+		return true
+	})
+	if assigned == nil {
+		return false
+	}
+	for _, ret := range returns {
+		for _, res := range ret.Results {
+			if exprMentions(info, res, assigned) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isCallee reports whether the identifier is the function position of some
+// call expression in the body (as opposed to a method-value reference).
+func isCallee(body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun == id {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel == id {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

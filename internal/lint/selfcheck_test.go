@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bfskel/internal/lint"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the repository
+// itself. The repo must stay clean: sanctioned nondeterminism is annotated
+// with //lint:allow, everything else is a regression.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loading module at %s: %v", root, err)
+	}
+	pkgs, errs := l.LoadPatterns([]string{"./..."})
+	for _, err := range errs {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from repo root")
+	}
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("type error in %s: %v", pkg.Path, te)
+		}
+	}
+
+	res := lint.Run(pkgs, lint.All(), lint.DefaultConfig())
+	for _, d := range res.Diagnostics {
+		t.Errorf("repo is not lint-clean: %s", d)
+	}
+	if res.Suppressed == 0 {
+		t.Error("expected sanctioned //lint:allow sites in the repo, found none")
+	}
+}

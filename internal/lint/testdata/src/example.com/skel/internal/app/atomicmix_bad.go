@@ -1,0 +1,22 @@
+// Positive corpus for the atomicmix analyzer: a field touched by
+// sync/atomic anywhere must be atomic everywhere.
+package app
+
+import "sync/atomic"
+
+type hits struct {
+	n     int64
+	other int64
+}
+
+func (h *hits) inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+func (h *hits) read() int64 {
+	return h.n // want "non-atomic access to field n, which is accessed via sync/atomic"
+}
+
+func (h *hits) reset() {
+	h.n = 0 // want "non-atomic access to field n"
+}

@@ -1,0 +1,22 @@
+// Negative corpus for the atomicmix analyzer: consistent atomic access,
+// untouched sibling fields, and the //lint:allow sanction.
+package app
+
+import "sync/atomic"
+
+func (h *hits) load() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+func (h *hits) swap(v int64) int64 {
+	return atomic.SwapInt64(&h.n, v)
+}
+
+// other is never used atomically, so plain access is fine.
+func (h *hits) readOther() int64 {
+	return h.other
+}
+
+func (h *hits) approx() int64 {
+	return h.n //lint:allow atomicmix racy read is acceptable for the debug display
+}

@@ -1,0 +1,17 @@
+// Positive corpus for the obsnil analyzer: reaching around the nil-safe
+// method set of the obs handles.
+package app
+
+import "example.com/skel/internal/obs"
+
+func sinkOf(t *obs.Tracer) any {
+	return t.Sink // want "direct access to field Sink of nil-safe obs.Tracer"
+}
+
+func spanID(s *obs.Span) uint64 {
+	return s.ID // want "direct access to field ID of nil-safe obs.Span"
+}
+
+func copySpan(s *obs.Span) obs.Span {
+	return *s // want "dereference of nil-safe \*obs.Span"
+}

@@ -1,0 +1,15 @@
+// Negative corpus for the obsnil analyzer: method-set use is always fine,
+// and //lint:allow sanctions a deliberate contract breach.
+package app
+
+import "example.com/skel/internal/obs"
+
+func viaMethods(t *obs.Tracer) bool {
+	sp := t.StartSpan("work")
+	sp.End()
+	return t.Enabled()
+}
+
+func sanctioned(t *obs.Tracer) any {
+	return t.Sink //lint:allow obsnil test hook must see the raw sink
+}

@@ -1,0 +1,42 @@
+// Positive corpus for the poolpair analyzer: pooled scratch that leaks.
+package app
+
+import "sync"
+
+type buffer struct{ data []byte }
+
+func (b *buffer) use() {}
+
+var pool = &sync.Pool{New: func() any { return new(buffer) }}
+
+func leak() {
+	b := pool.Get().(*buffer) // want "sync.Pool.Get result is never returned to the pool in leak"
+	b.use()
+}
+
+func earlyReturn(cond bool) {
+	b := pool.Get().(*buffer)
+	if cond {
+		return // want "return between sync.Pool.Get and its Put in earlyReturn"
+	}
+	pool.Put(b)
+}
+
+// engine wraps its pool behind an accessor/releaser pair, the Extractor
+// idiom; call sites are held to the same pairing rules.
+type engine struct {
+	scratch *sync.Pool
+}
+
+func (e *engine) getBuf() *buffer      { return e.scratch.Get().(*buffer) }
+func (e *engine) putBuf(b *buffer)     { e.scratch.Put(b) }
+func (e *engine) run(f func() *buffer) {}
+
+func (e *engine) leakWrapper() {
+	b := e.getBuf() // want "getBuf result is never returned to the pool in leakWrapper"
+	b.use()
+}
+
+func (e *engine) passesAccessorOnly() {
+	e.run(e.getBuf) // want "pool accessor getBuf is passed around without its releasing counterpart putBuf"
+}

@@ -1,0 +1,39 @@
+// Negative corpus for the poolpair analyzer: the blessed shapes — deferred
+// release, straight-line Get/Put, pool accessors whose result escapes by
+// design, paired wrapper hand-off — plus the //lint:allow sanction.
+package app
+
+func deferred() {
+	b := pool.Get().(*buffer)
+	defer pool.Put(b)
+	b.use()
+}
+
+func straightLine() {
+	b := pool.Get().(*buffer)
+	b.use()
+	pool.Put(b)
+}
+
+// fresh is a pool accessor: the Get result is the return value, so the
+// caller owns the release.
+func fresh() *buffer {
+	return pool.Get().(*buffer)
+}
+
+func (e *engine) pairedWrapper() {
+	b := e.getBuf()
+	defer e.putBuf(b)
+	b.use()
+}
+
+func (e *engine) runBoth(f func() *buffer, g func(*buffer)) {}
+
+func (e *engine) passesBoth() {
+	e.runBoth(e.getBuf, e.putBuf)
+}
+
+func sanctionedLeak() {
+	b := pool.Get().(*buffer) //lint:allow poolpair one-shot tool path; process exits right after
+	b.use()
+}

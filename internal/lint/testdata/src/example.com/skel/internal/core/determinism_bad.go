@@ -1,0 +1,35 @@
+// Positive corpus for the determinism analyzer: every construct here is a
+// finding, matched against the expectation comments by TestAnalyzerCorpus.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "call to time.Now"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "call to math/rand.Intn"
+}
+
+func freshRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "call to math/rand.New"
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to \"out\" in map order with no later sort"
+		out = append(out, k)
+	}
+	return out
+}
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside iteration over a map"
+	}
+}

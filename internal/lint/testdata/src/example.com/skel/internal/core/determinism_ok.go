@@ -1,0 +1,44 @@
+// Negative corpus for the determinism analyzer: the blessed
+// collect-then-sort shape and the //lint:allow suppression forms. No line
+// here is a finding.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// sortedKeys iterates the map only to collect keys and sorts the result —
+// the shape coarse.go uses; the later sort redeems the map-order append.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loopLocal accumulates into a slice declared inside the loop, so no
+// cross-iteration ordering escapes.
+func loopLocal(m map[string][]int, want int) int {
+	hits := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		if len(local) == want {
+			hits++
+		}
+	}
+	return hits
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //lint:allow determinism seeded by caller; trailing-comment form
+}
+
+func stampSanctioned() int64 {
+	//lint:allow determinism wall-clock timing only; preceding-line form
+	return time.Now().UnixNano()
+}

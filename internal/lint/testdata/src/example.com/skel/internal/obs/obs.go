@@ -1,0 +1,31 @@
+// Package obs is a miniature stand-in for the real observability layer:
+// just enough nil-safe handle surface for the obsnil analyzer corpus. The
+// exported fields exist precisely so the corpus can violate the contract;
+// the real package keeps them unexported. Field access in here is fine —
+// obsnil is configured off inside internal/obs.
+package obs
+
+// Tracer is a nil-safe handle: a nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	Sink any
+}
+
+// Enabled reports whether the tracer records.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartSpan opens a span; nil tracers hand out nil spans.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{Name: name}
+}
+
+// Span is a nil-safe span handle.
+type Span struct {
+	ID   uint64
+	Name string
+}
+
+// End closes the span; inert on nil.
+func (s *Span) End() {}

@@ -193,7 +193,7 @@ func (s *Sim) deliver(from, to int, payload any) {
 	arrival := s.round + 1
 	if s.Jitter > 0 {
 		if s.rng == nil {
-			s.rng = rand.New(rand.NewSource(s.JitterSeed))
+			s.rng = rand.New(rand.NewSource(s.JitterSeed)) //lint:allow determinism seeded from JitterSeed; same seed, same jitter
 		}
 		arrival += s.rng.Intn(s.Jitter + 1)
 	}
