@@ -106,6 +106,34 @@ func BenchmarkExtract(b *testing.B) {
 	}
 }
 
+// BenchmarkFloodKernels pins the two flood kernels against each other on the
+// headline network: identical pipelines, identical results, only the
+// all-sources BFS implementation differs. The walker/batched gap is the
+// MS-BFS win in isolation (KernelAuto picks batched at this size).
+func BenchmarkFloodKernels(b *testing.B) {
+	for _, n := range []int{2592, 10368} {
+		net, err := BuildNetwork(NetworkSpec{
+			Shape: MustShape("window"), N: n, TargetDeg: 7, Seed: 1, Layout: LayoutGrid,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kern := range []FloodKernel{KernelWalker, KernelBatched} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, kern), func(b *testing.B) {
+				p := DefaultParams()
+				p.FloodKernel = kern
+				x := net.Extractor()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := x.Extract(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkExtractFresh measures the one-shot compatibility path: a
 // throwaway engine per call, as net.Extract does. The gap to
 // BenchmarkExtract is the cold-start cost the pooled engine saves.

@@ -11,6 +11,7 @@
 //	skelbench -fig fig5       # run one experiment
 //	skelbench -seed 7         # change the deployment seed
 //	skelbench -json out.json  # also dump rows (with per-phase stats) as JSON
+//	skelbench -note "..."     # record a free-form note in the JSON report
 //	skelbench -trace t.jsonl  # emit a structured span/event trace (see cmd/skeltrace)
 //	skelbench -metrics        # dump Prometheus-text metrics on exit
 //	skelbench -pprof :6060    # serve net/http/pprof while running
@@ -44,8 +45,11 @@ type figureDump struct {
 
 // report is the top-level JSON document written by -json.
 type report struct {
-	Date    string       `json:"date"`
-	Seed    int64        `json:"seed"`
+	Date string `json:"date"`
+	Seed int64  `json:"seed"`
+	// Note is free-form operator context (-note), e.g. which commit or
+	// benchmark delta the report documents.
+	Note    string       `json:"note,omitempty"`
 	Figures []figureDump `json:"figures"`
 	// Metrics is the final registry snapshot; present whenever the run
 	// collected metrics (-metrics, or any -json run).
@@ -57,6 +61,7 @@ func run() error {
 		fig       = flag.String("fig", "", "experiment to run (empty = all); one of "+strings.Join(bfskel.FigureNames(), ", "))
 		seed      = flag.Int64("seed", 1, "deployment/link seed")
 		jsonPath  = flag.String("json", "", "write all rows (including per-phase stats) as JSON")
+		note      = flag.String("note", "", "free-form note recorded in the -json report")
 		tracePath = flag.String("trace", "", "write a structured span/event trace as JSONL (see cmd/skeltrace)")
 		metricsOn = flag.Bool("metrics", false, "dump Prometheus-text metrics on exit")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -90,7 +95,7 @@ func run() error {
 	if *fig != "" {
 		figures = []string{*fig}
 	}
-	rep := report{Date: time.Now().UTC().Format(time.RFC3339), Seed: *seed} //lint:allow determinism report date stamp; results are keyed by Seed
+	rep := report{Date: time.Now().UTC().Format(time.RFC3339), Seed: *seed, Note: *note} //lint:allow determinism report date stamp; results are keyed by Seed
 	for _, f := range figures {
 		rows, err := bfskel.RunFigureObs(f, *seed, ob)
 		if err != nil {

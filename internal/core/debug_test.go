@@ -20,7 +20,7 @@ func TestDebugStarLoops(t *testing.T) {
 	edges, coarseSkel := coarse(g, index, records)
 	t.Logf("sites=%d edges=%d coarse rank=%d", len(sites), len(edges), coarseSkel.CycleRank())
 
-	w := &refiner{g: g, p: p, index: index, records: records, cellOf: cellOf}
+	w := newRefiner(g, p, index, records, cellOf)
 	for _, e := range edges {
 		w.edges = append(w.edges, wEdge{
 			a: e.Pair.A, b: e.Pair.B, path: e.Path,

@@ -55,6 +55,7 @@ type Extractor struct {
 	// Reusable scratch; none of it escapes into results.
 	ballsFlat []int   // n*maxR cumulative ball sizes (identify)
 	balls     [][]int // row views into ballsFlat
+	wsums     []int   // batched-kernel centrality sums (identify)
 	ints      []int   // median / boundary sort scratch
 	bools     []bool  // electSites maximality flags
 	vorDist   []int32 // voronoi: per-site BFS distances
@@ -240,7 +241,7 @@ func (rs *runState) runStage(st stage) error {
 		e.span.End(obs.Int64("sweeps", sweeps), obs.Int64("visited", visited))
 	}
 	e.span = nil
-	ps := PhaseStats{Name: st.name(), Duration: d}
+	ps := PhaseStats{Name: st.name(), Duration: d, Sweeps: sweeps, Visited: visited}
 	if e.CollectMemStats {
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)

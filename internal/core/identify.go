@@ -38,7 +38,17 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 	if s := p.Scope(); s > maxR {
 		maxR = s
 	}
-	balls := e.ballSizes(maxR)
+	kern := g.ResolveKernel(p.FloodKernel, maxR)
+	if kern == graph.KernelBatched && p.L > maxR {
+		// The batched centrality path reads |N_L| off the ball matrix
+		// instead of counting during the walk, so the matrix must reach L.
+		maxR = p.L
+	}
+	if st != nil {
+		st.FloodKernel = kern.String()
+	}
+	e.event("kernel", obs.Str("flood", kern.String()))
+	balls := e.ballSizes(kern, maxR)
 
 	var medianK int
 	kEff, medianK = effectiveRadius(balls, p.K, kSaturationFraction, &e.ints)
@@ -73,7 +83,7 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 	index = make([]float64, n)
 	round := 0
 	for {
-		e.indexField(p, khop, cent, index)
+		e.indexField(p, kern, khop, cent, index)
 		sites = e.electSites(index, scopeEff)
 		round++
 		e.event("election", obs.Int("round", round), obs.Int("sites", len(sites)),
@@ -115,7 +125,7 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 // ballSizes returns the cumulative ball-size matrix sizes[v][r-1] over the
 // engine's pooled buffers; the rows stay valid until the next Extract or
 // Bind call.
-func (e *Extractor) ballSizes(maxR int) [][]int {
+func (e *Extractor) ballSizes(kern graph.Kernel, maxR int) [][]int {
 	n := e.g.N()
 	e.ballsFlat = growInts(e.ballsFlat, n*maxR)
 	if cap(e.balls) < n {
@@ -125,13 +135,28 @@ func (e *Extractor) ballSizes(maxR int) [][]int {
 	for v := 0; v < n; v++ {
 		e.balls[v] = e.ballsFlat[v*maxR : (v+1)*maxR : (v+1)*maxR]
 	}
-	e.g.BallSizesInto(maxR, e.balls, e.getWalker, e.putWalker)
+	e.g.BallSizesIntoKernel(kern, maxR, e.balls, e.getWalker, e.putWalker)
 	return e.balls
 }
 
 // indexField computes the L-centrality and index of every node (Defs. 3-4)
-// into the provided per-node slices.
-func (e *Extractor) indexField(p Params, khop []int, cent, index []float64) {
+// into the provided per-node slices. Both kernels compute the same integer
+// sum and count per node before a single float64 division, so the fields
+// are bit-identical across kernels.
+func (e *Extractor) indexField(p Params, kern graph.Kernel, khop []int, cent, index []float64) {
+	if kern == graph.KernelBatched {
+		// The weighted tallies ride the same MS-BFS passes as ball sizing;
+		// |N_L(v)| comes off the ball matrix (maxR covers L, see identify).
+		n := e.g.N()
+		e.wsums = growInts(e.wsums, n)
+		wsums := e.wsums
+		e.g.BallWeightedSumsInto(kern, p.L, khop, wsums, e.getWalker, e.putWalker)
+		for v := 0; v < n; v++ {
+			cent[v] = float64(khop[v]+wsums[v]) / float64(1+e.balls[v][p.L-1])
+			index[v] = (float64(khop[v]) + cent[v]) / 2
+		}
+		return
+	}
 	graph.ParallelNodes(e.g, e.getWalker, e.putWalker, func(w *graph.Walker, v int) {
 		// c_L(v): average K-hop size over N_L(v) plus v itself. Including v
 		// makes c_L well defined for isolated nodes and only shifts all

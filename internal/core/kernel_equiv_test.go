@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"bfskel/internal/graph"
+	"bfskel/internal/nettest"
+)
+
+// TestExtractKernelEquivalence: a full pipeline run is bit-identical under
+// the walker and the batched MS-BFS flood kernels — every deterministic
+// Result field matches, including the float64 index field (both kernels form
+// the same integer sums before a single division).
+func TestExtractKernelEquivalence(t *testing.T) {
+	for _, name := range []string{"window", "onehole", "twoholes", "spiral"} {
+		g := nettest.Grid(name, 900, 6.5, 1).Graph
+		results := make(map[graph.Kernel]*Result)
+		for _, kern := range []graph.Kernel{graph.KernelWalker, graph.KernelBatched} {
+			p := DefaultParams()
+			p.FloodKernel = kern
+			res, err := NewExtractor(g).Extract(p)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, kern, err)
+			}
+			want := kern.String()
+			if res.Stats.FloodKernel != want {
+				t.Fatalf("%s: Stats.FloodKernel = %q, want %q", name, res.Stats.FloodKernel, want)
+			}
+			results[kern] = res
+		}
+		w, b := results[graph.KernelWalker], results[graph.KernelBatched]
+		if w.EffectiveK != b.EffectiveK || w.EffectiveScope != b.EffectiveScope {
+			t.Fatalf("%s: effective radii differ: (%d,%d) vs (%d,%d)",
+				name, w.EffectiveK, w.EffectiveScope, b.EffectiveK, b.EffectiveScope)
+		}
+		for v := range w.KHopSize {
+			if w.KHopSize[v] != b.KHopSize[v] {
+				t.Fatalf("%s: KHopSize[%d] walker=%d batched=%d", name, v, w.KHopSize[v], b.KHopSize[v])
+			}
+			if w.LCentrality[v] != b.LCentrality[v] {
+				t.Fatalf("%s: LCentrality[%d] walker=%v batched=%v", name, v, w.LCentrality[v], b.LCentrality[v])
+			}
+			if w.Index[v] != b.Index[v] {
+				t.Fatalf("%s: Index[%d] walker=%v batched=%v", name, v, w.Index[v], b.Index[v])
+			}
+			if w.CellOf[v] != b.CellOf[v] {
+				t.Fatalf("%s: CellOf[%d] walker=%d batched=%d", name, v, w.CellOf[v], b.CellOf[v])
+			}
+		}
+		if !equalInt32s(w.Sites, b.Sites) {
+			t.Fatalf("%s: site sets differ: %d vs %d sites", name, len(w.Sites), len(b.Sites))
+		}
+		if !equalInt32s(w.Boundary, b.Boundary) {
+			t.Fatalf("%s: boundary sets differ", name)
+		}
+		if len(w.Edges) != len(b.Edges) {
+			t.Fatalf("%s: edge counts differ: %d vs %d", name, len(w.Edges), len(b.Edges))
+		}
+		if !equalInt32s(w.Skeleton.Nodes(), b.Skeleton.Nodes()) {
+			t.Fatalf("%s: skeleton node sets differ", name)
+		}
+		if w.NumFakeLoops() != b.NumFakeLoops() || w.NumGenuineLoops() != b.NumGenuineLoops() {
+			t.Fatalf("%s: loop verdicts differ: fake %d/%d genuine %d/%d", name,
+				w.NumFakeLoops(), b.NumFakeLoops(), w.NumGenuineLoops(), b.NumGenuineLoops())
+		}
+	}
+}
+
+// TestExtractKernelAutoCutover: KernelAuto resolves to the batched kernel on
+// a large frozen network and reports the choice in Stats.
+func TestExtractKernelAutoCutover(t *testing.T) {
+	g := nettest.Grid("window", 900, 6.5, 2).Graph
+	res, err := NewExtractor(g).Extract(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FloodKernel != "batched" {
+		t.Fatalf("auto kernel on %d frozen nodes = %q, want batched", g.N(), res.Stats.FloodKernel)
+	}
+	id, ok := res.Stats.Phase("identify")
+	if !ok {
+		t.Fatal("identify phase missing from stats")
+	}
+	if id.Sweeps == 0 || id.Visited == 0 {
+		t.Fatalf("identify phase work counters empty: sweeps=%d visited=%d", id.Sweeps, id.Visited)
+	}
+}
+
+func equalInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,7 +5,11 @@
 // (segmentation and network boundaries).
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"bfskel/internal/graph"
+)
 
 // Params configures the extraction pipeline. The zero value is not valid;
 // use DefaultParams (the paper's settings) and override fields as needed.
@@ -34,6 +38,13 @@ type Params struct {
 	// candidate loop may extend at most maxConnectorDist + FakeLoopSlack
 	// hops from its Voronoi hub to still count as fake.
 	FakeLoopSlack int32
+	// FloodKernel selects the BFS implementation behind the all-sources
+	// flooding passes (ball sizing and centrality). graph.KernelAuto (the
+	// zero value) cuts over to the bit-parallel MS-BFS kernel on large
+	// frozen graphs and keeps the per-node walker otherwise;
+	// graph.KernelWalker and graph.KernelBatched force one path. The
+	// kernels produce identical results — only the sweep cost differs.
+	FloodKernel graph.Kernel
 }
 
 // DefaultParams returns the paper's default configuration (K = L = 4,
@@ -66,6 +77,9 @@ func (p Params) Validate() error {
 	}
 	if p.FakeLoopSlack < 0 {
 		return fmt.Errorf("core: FakeLoopSlack must be >= 0, got %d", p.FakeLoopSlack)
+	}
+	if p.FloodKernel > graph.KernelBatched {
+		return fmt.Errorf("core: unknown FloodKernel %d", p.FloodKernel)
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ import (
 func refine(g *graph.Graph, p Params, index []float64, records [][]SiteDist,
 	cellOf []int32, edges []SiteEdge, coarseSkel *Skeleton, st *Stats) ([]Loop, *Skeleton) {
 
-	w := &refiner{g: g, p: p, index: index, records: records, cellOf: cellOf}
+	w := newRefiner(g, p, index, records, cellOf)
 	for _, e := range edges {
 		w.edges = append(w.edges, wEdge{
 			a: e.Pair.A, b: e.Pair.B, path: e.Path,
@@ -61,8 +61,26 @@ type refiner struct {
 	cellOf  []int32
 	edges   []wEdge
 	loops   []Loop
+	// Stamped BFS scratch shared by every bounded flood of the phase
+	// (floodFrom, hopDistWithin): allocated once per refine call, so the
+	// hundreds of small floods stop building a hash map each.
+	dist  []int32
+	stamp []int32
+	epoch int32
+	queue []int32
 	// debugf, when non-nil, receives a trace of every classification.
 	debugf func(format string, args ...any)
+}
+
+// newRefiner sets up the phase state, sizing the flood scratch to the graph.
+func newRefiner(g *graph.Graph, p Params, index []float64, records [][]SiteDist, cellOf []int32) *refiner {
+	n := g.N()
+	return &refiner{
+		g: g, p: p, index: index, records: records, cellOf: cellOf,
+		dist:  make([]int32, n),
+		stamp: make([]int32, n),
+		queue: make([]int32, 0, n),
+	}
 }
 
 // build assembles the node-level skeleton from the surviving edges. Paths
@@ -104,7 +122,7 @@ func (w *refiner) dropRedundantParallels() {
 		for _, ei := range idxs[1:] {
 			redundant := false
 			for _, kj := range kept {
-				if hopDistWithin(w.g, w.edges[ei].connector, w.edges[kj].connector, nearLimit) {
+				if w.hopDistWithin(w.edges[ei].connector, w.edges[kj].connector, nearLimit) {
 					redundant = true
 					break
 				}
@@ -293,29 +311,33 @@ func (w *refiner) junctionRadius() int32 {
 
 // floodFrom returns the nodes within the given hop radius of src, not
 // entering skeleton nodes (the source is admitted even if on the skeleton).
+// The returned slice aliases the refiner's queue scratch and is only valid
+// until the next flood.
 func (w *refiner) floodFrom(src int32, radius int32, skel *Skeleton) []int32 {
-	dist := map[int32]int32{src: 0}
-	queue := []int32{src}
-	out := []int32{src}
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := dist[u]
+	w.epoch++
+	w.stamp[src] = w.epoch
+	w.dist[src] = 0
+	w.queue = w.queue[:0]
+	w.queue = append(w.queue, src)
+	for head := 0; head < len(w.queue); head++ {
+		u := w.queue[head]
+		du := w.dist[u]
 		if du >= radius {
 			continue
 		}
 		for _, v := range w.g.Neighbors(int(u)) {
-			if _, seen := dist[v]; seen {
+			if w.stamp[v] == w.epoch {
 				continue
 			}
 			if skel.Contains(v) {
 				continue
 			}
-			dist[v] = du + 1
-			queue = append(queue, v)
-			out = append(out, v)
+			w.stamp[v] = w.epoch
+			w.dist[v] = du + 1
+			w.queue = append(w.queue, v)
 		}
 	}
-	return out
+	return w.queue
 }
 
 // nonTreeEdges returns, for the current site-level graph, the edges outside
@@ -387,28 +409,33 @@ func (w *refiner) cycleSites(cycle []int) []int32 {
 	return sortedSites(set)
 }
 
-// hopDistWithin reports whether dst is within limit hops of src.
-func hopDistWithin(g *graph.Graph, src, dst int32, limit int32) bool {
+// hopDistWithin reports whether dst is within limit hops of src, over the
+// refiner's stamped scratch.
+func (w *refiner) hopDistWithin(src, dst int32, limit int32) bool {
 	if src == dst {
 		return true
 	}
-	dist := map[int32]int32{src: 0}
-	queue := []int32{src}
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := dist[u]
+	w.epoch++
+	w.stamp[src] = w.epoch
+	w.dist[src] = 0
+	w.queue = w.queue[:0]
+	w.queue = append(w.queue, src)
+	for head := 0; head < len(w.queue); head++ {
+		u := w.queue[head]
+		du := w.dist[u]
 		if du >= limit {
 			continue
 		}
-		for _, v := range g.Neighbors(int(u)) {
-			if _, seen := dist[v]; seen {
+		for _, v := range w.g.Neighbors(int(u)) {
+			if w.stamp[v] == w.epoch {
 				continue
 			}
 			if v == dst {
 				return true
 			}
-			dist[v] = du + 1
-			queue = append(queue, v)
+			w.stamp[v] = w.epoch
+			w.dist[v] = du + 1
+			w.queue = append(w.queue, v)
 		}
 	}
 	return false

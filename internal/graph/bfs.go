@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // BFS returns hop distances from src to every node (Unreachable for nodes in
 // other components).
 func (g *Graph) BFS(src int) []int32 {
@@ -188,12 +190,31 @@ func (g *Graph) KHopCount(src, k int) int {
 
 // AllKHopCounts computes |N_k(v)| for every node, in parallel. This is the
 // centralized analogue of the paper's first round of controlled flooding
-// (Sec. III-A).
+// (Sec. III-A). The kernel is chosen automatically; see AllKHopCountsKernel.
 func (g *Graph) AllKHopCounts(k int) []int {
-	out := make([]int, g.N())
-	ParallelNodes(g, nil, nil, func(w *Walker, v int) {
-		out[v] = w.Count(v, k)
-	})
+	return g.AllKHopCountsKernel(KernelAuto, k)
+}
+
+// AllKHopCountsKernel is AllKHopCounts under an explicit kernel choice. The
+// batched kernel runs the counts as width-1 rows through the MS-BFS sweeps;
+// both kernels produce identical results.
+func (g *Graph) AllKHopCountsKernel(kern Kernel, k int) []int {
+	n := g.N()
+	out := make([]int, n)
+	if k <= 0 || n == 0 {
+		return out
+	}
+	if g.resolveKernel(kern, k) == KernelWalker {
+		ParallelNodes(g, nil, nil, func(w *Walker, v int) {
+			out[v] = w.Count(v, k)
+		})
+		return out
+	}
+	rows := make([][]int, n)
+	for v := range rows {
+		rows[v] = out[v : v+1 : v+1]
+	}
+	g.ballSizesBatched(k, rows, nil, nil)
 	return out
 }
 
@@ -214,18 +235,27 @@ func (g *Graph) AllBallSizes(k int) [][]int {
 
 // BallSizesInto is AllBallSizes over caller-provided row buffers (each row
 // must have length k; previous contents are overwritten), with an optional
-// Walker acquire/release pair for pooling — see ParallelNodes.
+// Walker acquire/release pair for pooling — see ParallelNodes. The kernel is
+// chosen automatically; see BallSizesIntoKernel.
 func (g *Graph) BallSizesInto(k int, out [][]int, acquire func() *Walker, release func(*Walker)) {
-	ParallelNodes(g, acquire, release, func(w *Walker, v int) {
-		counts := out[v]
-		for r := range counts {
-			counts[r] = 0
-		}
-		w.Walk(v, k, func(_, d int32) { counts[d-1]++ })
-		for r := 1; r < k; r++ {
-			counts[r] += counts[r-1]
-		}
-	})
+	g.BallSizesIntoKernel(KernelAuto, k, out, acquire, release)
+}
+
+// BallSizesIntoKernel is BallSizesInto under an explicit kernel choice:
+// per-source walker sweeps, or the bit-parallel MS-BFS kernel advancing 64
+// sources per pass (msbfs.go). Both kernels produce identical results; only
+// the sweep cost differs.
+func (g *Graph) BallSizesIntoKernel(kern Kernel, k int, out [][]int, acquire func() *Walker, release func(*Walker)) {
+	if k <= 0 || g.N() == 0 {
+		return
+	}
+	if g.resolveKernel(kern, k) == KernelWalker {
+		ParallelNodes(g, acquire, release, func(w *Walker, v int) {
+			ballSizesWalker(w, v, out[v])
+		})
+		return
+	}
+	g.ballSizesBatched(k, out, acquire, release)
 }
 
 // Components labels connected components; it returns the label of each node
@@ -293,22 +323,58 @@ func (g *Graph) IsConnected() bool {
 	return count == 1
 }
 
+// invIndex is a pooled dense inverse-index array for Subgraph: new-graph
+// position by original node ID, -1 elsewhere. The backing array is kept
+// all -1 between uses (entries are restored after each call), so a call
+// costs O(len(keep)) bookkeeping instead of building a hash map per call.
+type invIndex struct {
+	pos []int32
+}
+
+var invIndexPool = sync.Pool{New: func() any { return &invIndex{} }}
+
+// grow returns the index sized for n nodes, preserving the all -1 invariant
+// for any newly allocated tail.
+func (ii *invIndex) grow(n int) []int32 {
+	if cap(ii.pos) < n {
+		ii.pos = make([]int32, n)
+		for i := range ii.pos {
+			ii.pos[i] = -1
+		}
+	}
+	return ii.pos[:n]
+}
+
 // Subgraph returns the induced subgraph over keep (node IDs in the original
 // graph) plus the mapping back to original IDs. Node i of the subgraph is
 // keep[i].
 func (g *Graph) Subgraph(keep []int32) (*Graph, []int32) {
-	index := make(map[int32]int, len(keep))
+	ii := invIndexPool.Get().(*invIndex)
+	defer invIndexPool.Put(ii)
+	index := ii.grow(g.N())
 	for i, v := range keep {
-		index[v] = i
+		index[v] = int32(i)
 	}
 	sub := New(len(keep))
 	for i, v := range keep {
 		for _, w := range g.adj[v] {
-			j, ok := index[w]
-			if ok && j > i {
-				sub.AddEdge(i, j)
+			if j := index[w]; j > int32(i) {
+				sub.AddEdge(i, int(j))
 			}
 		}
+	}
+	if len(g.batchOrder) == g.N() {
+		// Carry the spatial batch ordering over: keep's nodes in the
+		// parent's Z-curve order, renamed to subgraph IDs.
+		sub.batchOrder = make([]int32, 0, len(keep))
+		for _, v := range g.batchOrder {
+			if j := index[v]; j >= 0 {
+				sub.batchOrder = append(sub.batchOrder, j)
+			}
+		}
+	}
+	for _, v := range keep {
+		index[v] = -1
 	}
 	sub.SortAdjacency()
 	orig := make([]int32, len(keep))

@@ -1,0 +1,49 @@
+package graph
+
+// Freeze compacts the adjacency lists into a CSR (compressed sparse row)
+// layout: one offsets array and one flat targets array holding every list
+// back to back. The per-node lists are rewired to capacity-capped views into
+// the arena, so Neighbors iteration — the inner loop of every BFS — walks a
+// single contiguous array instead of chasing per-node allocations, and the
+// bit-parallel MS-BFS kernel can index edges directly.
+//
+// Build and SortAdjacency freeze automatically; hand-built graphs stay
+// usable unfrozen (they just keep the pointer-chasing layout and the walker
+// BFS kernel). Freezing an already-frozen graph is a no-op. Freeze mutates
+// the graph and must not run concurrently with readers.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	n := len(g.adj)
+	if cap(g.offsets) < n+1 {
+		g.offsets = make([]int32, n+1)
+	}
+	g.offsets = g.offsets[:n+1]
+	total := 0
+	for v, nbrs := range g.adj {
+		g.offsets[v] = int32(total)
+		total += len(nbrs)
+	}
+	g.offsets[n] = int32(total)
+	// The targets arena is always freshly allocated: after a thaw the old
+	// lists still alias the previous arena, so compacting in place would
+	// overwrite rows that are yet to be copied.
+	targets := make([]int32, total)
+	for v, nbrs := range g.adj {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		copy(targets[lo:hi], nbrs)
+		g.adj[v] = targets[lo:hi:hi]
+	}
+	g.targets = targets
+	g.frozen = true
+}
+
+// Frozen reports whether the graph is in its CSR form.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// csr returns the CSR arrays; ok is false while the graph is thawed (then
+// the arrays may be stale and must not be used).
+func (g *Graph) csr() (offsets, targets []int32, ok bool) {
+	return g.offsets, g.targets, g.frozen
+}

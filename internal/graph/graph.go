@@ -19,9 +19,29 @@ import (
 const Unreachable int32 = -1
 
 // Graph is an undirected graph over nodes 0..N-1.
+//
+// A graph has two physical states. While it is being built, each adjacency
+// list is an independently allocated slice. Freeze (called by Build and
+// SortAdjacency) compacts all lists into one CSR (compressed sparse row)
+// pair — offsets/targets — and rewires the per-node lists to views into it,
+// so iteration keeps the same API but walks one contiguous array. The
+// bit-parallel MS-BFS kernel (msbfs.go) requires the frozen form.
 type Graph struct {
 	adj   [][]int32
 	edges int
+
+	// CSR form, valid while frozen: the neighbors of v are
+	// targets[offsets[v]:offsets[v+1]], and adj[v] aliases that window.
+	offsets []int32
+	targets []int32
+	frozen  bool
+
+	// batchOrder is an optional node permutation grouping spatially close
+	// nodes (Z-curve over Build's cell grid). The batched MS-BFS kernel
+	// forms its 64-source batches along it so the sources' balls overlap
+	// maximally; nil means ID order. Per-source results are exact, so the
+	// ordering affects cost only, never output.
+	batchOrder []int32
 }
 
 // New returns an empty graph with n nodes.
@@ -30,11 +50,15 @@ func New(n int) *Graph {
 }
 
 // AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate edges
-// must be avoided by the caller (Build guarantees this).
+// must be avoided by the caller (Build guarantees this). Adding an edge to a
+// frozen graph thaws it: the CSR arrays go stale until the next Freeze, and
+// the two touched lists are copied out of the shared arena on append (their
+// views are capacity-capped, so append cannot clobber a neighbor's window).
 func (g *Graph) AddEdge(u, v int) {
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
 	g.edges++
+	g.frozen = false
 }
 
 // N returns the number of nodes.
@@ -68,12 +92,14 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return false
 }
 
-// SortAdjacency sorts every adjacency list; Build calls it so iteration
-// order (and thus every downstream tie-break) is deterministic.
+// SortAdjacency sorts every adjacency list and freezes the graph into its
+// CSR form; Build calls it so iteration order (and thus every downstream
+// tie-break) is deterministic.
 func (g *Graph) SortAdjacency() {
 	for _, nbrs := range g.adj {
 		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 	}
+	g.Freeze()
 }
 
 // Build constructs the connectivity graph for the given node positions under
@@ -111,6 +137,7 @@ func Build(pts []geom.Point, m radio.Model, seed int64) *Graph {
 		})
 	}
 	g.SortAdjacency()
+	g.batchOrder = cells.zOrder()
 	return g
 }
 
@@ -127,16 +154,28 @@ func pairCoin(seed int64, i, j int) float64 {
 	return float64(x>>11) / float64(1<<53)
 }
 
-// cellIndex is a uniform-grid bucketing of points used by Build.
+// cellIndex is a uniform-grid bucketing of points used by Build. The grid is
+// stored as a counting-sorted flat layout (start/items, the same CSR idea as
+// the frozen adjacency): cell c holds items[start[c]:start[c+1]], each bucket
+// keeping ascending point order. A hash map fallback covers degenerate
+// inputs whose bounding box spans far more cells than points — there the
+// dense array would be mostly empty padding.
 type cellIndex struct {
-	pts    []geom.Point
-	cell   float64
-	minX   float64
-	minY   float64
-	cols   int
-	rows   int
-	bucket map[int][]int
+	pts   []geom.Point
+	cell  float64
+	minX  float64
+	minY  float64
+	cols  int
+	rows  int
+	start []int32
+	items []int32
+	// bucket is the sparse fallback; nil when the dense grid is in use.
+	bucket map[int][]int32
 }
+
+// sparseCellFactor bounds the dense grid: when the bounding box covers more
+// than this many cells per point, Build falls back to hashed buckets.
+const sparseCellFactor = 4
 
 func newCellIndex(pts []geom.Point, cell float64) *cellIndex {
 	minX, minY := pts[0].X, pts[0].Y
@@ -147,43 +186,119 @@ func newCellIndex(pts []geom.Point, cell float64) *cellIndex {
 		maxX = math.Max(maxX, p.X)
 		maxY = math.Max(maxY, p.Y)
 	}
-	ci := &cellIndex{
-		pts:    pts,
-		cell:   cell,
-		minX:   minX,
-		minY:   minY,
-		cols:   int((maxX-minX)/cell) + 1,
-		rows:   int((maxY-minY)/cell) + 1,
-		bucket: make(map[int][]int, len(pts)),
+	ci := &cellIndex{pts: pts, cell: cell, minX: minX, minY: minY}
+	// Cell counts are compared in floating point first so a pathological
+	// extent/cell ratio cannot overflow the int conversion.
+	colsF := math.Floor((maxX-minX)/cell) + 1
+	rowsF := math.Floor((maxY-minY)/cell) + 1
+	if colsF*rowsF > float64(sparseCellFactor*len(pts)+64) {
+		ci.bucket = make(map[int][]int32, len(pts))
+		for i, p := range pts {
+			k := sparseKey(ci.cellOf(p))
+			ci.bucket[k] = append(ci.bucket[k], int32(i))
+		}
+		return ci
 	}
+	ci.cols, ci.rows = int(colsF), int(rowsF)
+	cells := ci.cols * ci.rows
+	ci.start = make([]int32, cells+1)
+	for _, p := range pts {
+		ci.start[ci.key(p)+1]++
+	}
+	for c := 0; c < cells; c++ {
+		ci.start[c+1] += ci.start[c]
+	}
+	ci.items = make([]int32, len(pts))
+	cursor := make([]int32, cells)
 	for i, p := range pts {
 		k := ci.key(p)
-		ci.bucket[k] = append(ci.bucket[k], i)
+		ci.items[ci.start[k]+cursor[k]] = int32(i)
+		cursor[k]++
 	}
 	return ci
 }
 
+// cellOf returns the integer grid coordinates of p.
+func (ci *cellIndex) cellOf(p geom.Point) (cx, cy int) {
+	return int((p.X - ci.minX) / ci.cell), int((p.Y - ci.minY) / ci.cell)
+}
+
 func (ci *cellIndex) key(p geom.Point) int {
-	cx := int((p.X - ci.minX) / ci.cell)
-	cy := int((p.Y - ci.minY) / ci.cell)
+	cx, cy := ci.cellOf(p)
 	return cy*ci.cols + cx
+}
+
+// sparseKey packs grid coordinates into a map key without needing the cell
+// count; a collision only adds candidates, which Build's distance check
+// filters out.
+func sparseKey(cx, cy int) int {
+	return cy<<32 ^ cx
+}
+
+// zOrder returns the point IDs grouped by grid cell with the cells visited
+// along the Z-curve (Morton order), so any run of consecutive entries covers
+// a compact 2D patch — the source ordering the MS-BFS kernel batches by.
+// Returns nil (ID order) for the sparse fallback, where the grid has no
+// dense coordinates to interleave.
+func (ci *cellIndex) zOrder() []int32 {
+	if ci.bucket != nil {
+		return nil
+	}
+	type zCell struct {
+		key  uint64
+		cell int32
+	}
+	occupied := make([]zCell, 0, len(ci.pts))
+	for c := 0; c < ci.cols*ci.rows; c++ {
+		if ci.start[c+1] > ci.start[c] {
+			occupied = append(occupied, zCell{morton(c%ci.cols, c/ci.cols), int32(c)})
+		}
+	}
+	sort.Slice(occupied, func(a, b int) bool { return occupied[a].key < occupied[b].key })
+	order := make([]int32, 0, len(ci.items))
+	for _, zc := range occupied {
+		order = append(order, ci.items[ci.start[zc.cell]:ci.start[zc.cell+1]]...)
+	}
+	return order
+}
+
+// morton interleaves the bits of x and y (x in the even positions) into one
+// Z-curve key.
+func morton(x, y int) uint64 {
+	return spreadBits(uint32(x)) | spreadBits(uint32(y))<<1
+}
+
+// spreadBits inserts a zero bit between every bit of x.
+func spreadBits(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
 }
 
 // forNeighborCandidates calls fn for every point in the 3x3 cell block
 // around point i.
 func (ci *cellIndex) forNeighborCandidates(i int, fn func(j int)) {
-	p := ci.pts[i]
-	cx := int((p.X - ci.minX) / ci.cell)
-	cy := int((p.Y - ci.minY) / ci.cell)
+	cx, cy := ci.cellOf(ci.pts[i])
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			x, y := cx+dx, cy+dy
-			if x < 0 || y < 0 || x >= ci.cols || y >= ci.rows {
-				continue
+			var cellPts []int32
+			if ci.bucket != nil {
+				cellPts = ci.bucket[sparseKey(x, y)]
+			} else {
+				if x < 0 || y < 0 || x >= ci.cols || y >= ci.rows {
+					continue
+				}
+				k := y*ci.cols + x
+				cellPts = ci.items[ci.start[k]:ci.start[k+1]]
 			}
-			for _, j := range ci.bucket[y*ci.cols+x] {
-				if j != i {
-					fn(j)
+			for _, j := range cellPts {
+				if int(j) != i {
+					fn(int(j))
 				}
 			}
 		}

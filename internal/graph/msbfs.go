@@ -1,0 +1,373 @@
+// Multi-source breadth-first search with bit-parallel frontiers, after
+// Then et al., "The More the Merrier: Efficient Multi-Source Graph
+// Traversal" (VLDB 2015). The all-sources truncated flooding that opens the
+// paper's pipeline (|N_k(v)| for every node, Sec. III-A) runs one BFS per
+// node; MS-BFS advances up to 64 sources together, one bit per source, so a
+// node shared by many balls is expanded once per level per batch instead of
+// once per source, and the whole sweep runs over the frozen CSR arrays.
+//
+// Per-source results are exact — the bitmasks keep every source's
+// visited set separate — so outputs are bit-identical to the walker path
+// regardless of batch boundaries or worker count.
+package graph
+
+import "math/bits"
+
+// Kernel selects the truncated-BFS implementation behind the all-sources
+// flooding entry points (BallSizesInto, AllKHopCounts, BallWeightedSumsInto).
+type Kernel uint8
+
+const (
+	// KernelAuto picks per call: the batched MS-BFS kernel on large frozen
+	// graphs with a non-trivial radius, the walker otherwise.
+	KernelAuto Kernel = iota
+	// KernelWalker forces one truncated BFS per source over pooled walker
+	// scratch (the PR 1 path).
+	KernelWalker
+	// KernelBatched forces the bit-parallel MS-BFS kernel; it freezes the
+	// graph if needed.
+	KernelBatched
+)
+
+// String names the kernel for stats and trace attributes.
+func (k Kernel) String() string {
+	switch k {
+	case KernelWalker:
+		return "walker"
+	case KernelBatched:
+		return "batched"
+	default:
+		return "auto"
+	}
+}
+
+// msbfsBatch is the number of sources one kernel pass advances together:
+// one bit of a machine word per source.
+const msbfsBatch = 64
+
+// Automatic cutover bounds: below either, the per-source walker wins — the
+// batch bookkeeping needs enough sources and enough frontier overlap (radius
+// >= 2) to amortize.
+const (
+	kernelCutoverNodes = 512
+	kernelCutoverK     = 2
+)
+
+// resolveKernel turns a kernel request into the concrete kernel this call
+// will run, given the flooding radius k. KernelBatched is honored by
+// freezing on demand; KernelAuto never mutates the graph.
+func (g *Graph) resolveKernel(kern Kernel, k int) Kernel {
+	switch kern {
+	case KernelWalker:
+		return KernelWalker
+	case KernelBatched:
+		g.Freeze()
+		return KernelBatched
+	default:
+		if g.frozen && k >= kernelCutoverK && g.N() >= kernelCutoverNodes {
+			return KernelBatched
+		}
+		return KernelWalker
+	}
+}
+
+// ResolveKernel reports which concrete kernel a request would run for a
+// flooding of radius k, without mutating the graph. Exported so callers can
+// record the decision (core.Stats, trace attributes).
+func (g *Graph) ResolveKernel(kern Kernel, k int) Kernel {
+	if kern == KernelBatched {
+		return KernelBatched
+	}
+	return g.resolveKernel(kern, k)
+}
+
+// msbfsScratch holds one worker's MS-BFS state: one word of source bits per
+// node for the visited set, the current frontier and the next frontier, plus
+// the frontier node lists and a touched list for O(visited) reset.
+type msbfsScratch struct {
+	seen     []uint64
+	frontier []uint64
+	next     []uint64
+	cur      []int32
+	nxt      []int32
+	touched  []int32
+	srcs     []int32 // batch source buffer for range drivers
+	rows     [][]int // batch row views for range drivers
+}
+
+func newMSBFSScratch(n int) *msbfsScratch {
+	return &msbfsScratch{
+		seen:     make([]uint64, n),
+		frontier: make([]uint64, n),
+		next:     make([]uint64, n),
+		srcs:     make([]int32, 0, msbfsBatch),
+		rows:     make([][]int, 0, msbfsBatch),
+	}
+}
+
+// run floods up to 64 sources simultaneously, truncated at k hops, over the
+// frozen CSR arrays. For source i it adds the number of nodes first reached
+// at hop d to rows[i][min(d-1, len(rows[i])-1)] — per-radius tallies for
+// k-wide rows, a running total for width-1 rows — and, when weight is
+// non-nil, adds weight[v] for every reached v to wsums[i]. Either rows or
+// wsums may be nil. Returns the total number of (source, node) visits, the
+// same tally the walker's visited counter produces.
+//
+// The scratch arrays must be all-zero on entry; run re-zeroes everything it
+// touched before returning, so the cost of repeated runs is proportional to
+// the flooded region only.
+func (s *msbfsScratch) run(g *Graph, k int, sources []int32, rows [][]int, weight []int, wsums []int) int {
+	if k <= 0 || len(sources) == 0 {
+		return 0
+	}
+	offsets, targets, ok := g.csr()
+	if !ok || len(sources) > msbfsBatch {
+		panic("graph: msbfs kernel needs a frozen graph and at most 64 sources")
+	}
+	// Locals pin the scratch slice headers so element stores inside the hot
+	// loops cannot force header reloads.
+	seen, frontier, next := s.seen, s.frontier, s.next
+	cur := s.cur[:0]
+	touched := s.touched[:0]
+	for i, src := range sources {
+		bit := uint64(1) << uint(i)
+		if seen[src] == 0 {
+			touched = append(touched, src)
+		}
+		if frontier[src] == 0 {
+			cur = append(cur, src)
+		}
+		seen[src] |= bit
+		frontier[src] |= bit
+	}
+	visited := 0
+	for d := 1; d <= k && len(cur) > 0; d++ {
+		// Expand: OR every frontier word into the neighbors' next words,
+		// masking off bits already seen. seen[] is only updated in the
+		// settle half, so the mask is stable across the whole level; the
+		// filter keeps interior nodes (every bit seen) out of next/nxt
+		// entirely, so the common already-visited edge costs one load and
+		// no store.
+		nxt := s.nxt[:0]
+		for _, u := range cur {
+			f := frontier[u]
+			for _, v := range targets[offsets[u]:offsets[u+1]] {
+				add := f &^ seen[v]
+				if add == 0 {
+					continue
+				}
+				old := next[v]
+				if nv := old | add; nv != old {
+					if old == 0 {
+						nxt = append(nxt, v)
+					}
+					next[v] = nv
+				}
+			}
+		}
+		s.nxt = nxt
+		for _, u := range cur {
+			frontier[u] = 0
+		}
+		cur = cur[:0]
+		// Settle: every queued node carries first-time bits (the expand
+		// mask guarantees it); tally them per source and promote them to
+		// the next frontier.
+		var cnt [msbfsBatch]int
+		for _, v := range nxt {
+			newBits := next[v]
+			next[v] = 0
+			if seen[v] == 0 {
+				touched = append(touched, v)
+			}
+			seen[v] |= newBits
+			frontier[v] = newBits
+			cur = append(cur, v)
+			visited += bits.OnesCount64(newBits)
+			if weight == nil {
+				for b := newBits; b != 0; b &= b - 1 {
+					cnt[bits.TrailingZeros64(b)]++
+				}
+			} else {
+				wv := weight[v]
+				for b := newBits; b != 0; b &= b - 1 {
+					i := bits.TrailingZeros64(b)
+					cnt[i]++
+					wsums[i] += wv
+				}
+			}
+		}
+		if rows != nil {
+			for i := range sources {
+				if cnt[i] != 0 {
+					row := rows[i]
+					r := d - 1
+					if r >= len(row) {
+						r = len(row) - 1
+					}
+					row[r] += cnt[i]
+				}
+			}
+		}
+	}
+	for _, u := range cur {
+		frontier[u] = 0
+	}
+	for _, v := range touched {
+		seen[v] = 0
+	}
+	s.cur = cur[:0]
+	s.touched = touched[:0]
+	return visited
+}
+
+// runBatch floods one batch through the walker's MS-BFS scratch, crediting
+// the work to the walker's counters so pooled-engine observability sees the
+// batched kernel exactly like walker sweeps.
+func (w *Walker) runBatch(k int, sources []int32, rows [][]int, weight []int, wsums []int) {
+	if w.ms == nil {
+		w.ms = newMSBFSScratch(w.g.N())
+	}
+	visited := w.ms.run(w.g, k, sources, rows, weight, wsums)
+	w.s.sweeps += len(sources)
+	w.s.visited += visited
+}
+
+// batchSource maps a batch slot to its source node: the i-th node of the
+// spatial Z-curve ordering when Build derived one, the i-th node ID
+// otherwise.
+func (g *Graph) batchSource(i int) int32 {
+	if len(g.batchOrder) == g.N() {
+		return g.batchOrder[i]
+	}
+	return int32(i)
+}
+
+// ballSizesBatched fills out[v] (len k each, overwritten) with cumulative
+// ball sizes for every node, batching 64 spatially grouped sources per
+// kernel pass. Rows of width 1 degenerate to plain |N_k| counts.
+func (g *Graph) ballSizesBatched(k int, out [][]int, acquire func() *Walker, release func(*Walker)) {
+	n := g.N()
+	batches := (n + msbfsBatch - 1) / msbfsBatch
+	ParallelRange(g, batches, acquire, release, func(w *Walker, b int) {
+		lo := b * msbfsBatch
+		hi := lo + msbfsBatch
+		if hi > n {
+			hi = n
+		}
+		if w.ms == nil {
+			w.ms = newMSBFSScratch(n)
+		}
+		srcs := w.ms.srcs[:0]
+		rows := w.ms.rows[:0]
+		for i := lo; i < hi; i++ {
+			v := g.batchSource(i)
+			srcs = append(srcs, v)
+			row := out[v]
+			for r := range row {
+				row[r] = 0
+			}
+			rows = append(rows, row)
+		}
+		w.ms.srcs, w.ms.rows = srcs, rows
+		w.runBatch(k, srcs, rows, nil, nil)
+		for _, row := range rows {
+			for r := 1; r < len(row); r++ {
+				row[r] += row[r-1]
+			}
+		}
+	})
+}
+
+// BatchBallSizes computes, for each source, the cumulative ball sizes
+// |N_r(source)| for r in 1..k (excluding the source), indexed out[i][r-1].
+// It is AllBallSizes over an arbitrary source set: sources are advanced 64
+// at a time by the MS-BFS kernel when the graph is frozen, per-source walker
+// sweeps otherwise. Duplicate sources are allowed and computed per entry.
+func (g *Graph) BatchBallSizes(k int, sources []int32) [][]int {
+	if k < 0 {
+		k = 0
+	}
+	out := make([][]int, len(sources))
+	flat := make([]int, len(sources)*k)
+	for i := range out {
+		out[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	if len(sources) == 0 || k == 0 {
+		return out
+	}
+	if !g.frozen {
+		ParallelRange(g, len(sources), nil, nil, func(w *Walker, i int) {
+			ballSizesWalker(w, int(sources[i]), out[i])
+		})
+		return out
+	}
+	batches := (len(sources) + msbfsBatch - 1) / msbfsBatch
+	ParallelRange(g, batches, nil, nil, func(w *Walker, b int) {
+		lo := b * msbfsBatch
+		hi := lo + msbfsBatch
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		rows := out[lo:hi]
+		w.runBatch(k, sources[lo:hi], rows, nil, nil)
+		for _, row := range rows {
+			for r := 1; r < len(row); r++ {
+				row[r] += row[r-1]
+			}
+		}
+	})
+	return out
+}
+
+// BallWeightedSumsInto computes, for every node v, the sum of weight[u] over
+// all u in N_k(v) (excluding v itself) into out (len >= N, overwritten).
+// This is the bulk form of the centrality accumulation (Def. 3): one walker
+// sweep per node, or — for the batched kernel — a per-level weighted tally
+// rolled into the same MS-BFS passes as the ball sizes. Results are
+// identical across kernels.
+func (g *Graph) BallWeightedSumsInto(kern Kernel, k int, weight []int, out []int, acquire func() *Walker, release func(*Walker)) {
+	n := g.N()
+	if g.resolveKernel(kern, k) == KernelWalker {
+		ParallelNodes(g, acquire, release, func(w *Walker, v int) {
+			sum := 0
+			w.Walk(v, k, func(u, _ int32) { sum += weight[u] })
+			out[v] = sum
+		})
+		return
+	}
+	batches := (n + msbfsBatch - 1) / msbfsBatch
+	ParallelRange(g, batches, acquire, release, func(w *Walker, b int) {
+		lo := b * msbfsBatch
+		hi := lo + msbfsBatch
+		if hi > n {
+			hi = n
+		}
+		if w.ms == nil {
+			w.ms = newMSBFSScratch(n)
+		}
+		srcs := w.ms.srcs[:0]
+		for i := lo; i < hi; i++ {
+			srcs = append(srcs, g.batchSource(i))
+		}
+		w.ms.srcs = srcs
+		var wbuf [msbfsBatch]int
+		wb := wbuf[:len(srcs)]
+		w.runBatch(k, srcs, nil, weight, wb)
+		for i, v := range srcs {
+			out[v] = wb[i]
+		}
+	})
+}
+
+// ballSizesWalker fills one node's cumulative ball-size row with a walker
+// sweep; shared by the walker paths of BallSizesInto and BatchBallSizes.
+func ballSizesWalker(w *Walker, v int, counts []int) {
+	for r := range counts {
+		counts[r] = 0
+	}
+	w.Walk(v, len(counts), func(_, d int32) { counts[d-1]++ })
+	for r := 1; r < len(counts); r++ {
+		counts[r] += counts[r-1]
+	}
+}

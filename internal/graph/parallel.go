@@ -16,7 +16,14 @@ import (
 // (per-node slots of preallocated slices are fine). The chunking is
 // deterministic, so any per-node output is independent of the worker count.
 func ParallelNodes(g *Graph, acquire func() *Walker, release func(*Walker), fn func(w *Walker, v int)) {
-	n := g.N()
+	ParallelRange(g, g.N(), acquire, release, fn)
+}
+
+// ParallelRange is ParallelNodes over an arbitrary index space 0..count-1:
+// the unit of work need not be a node (the MS-BFS drivers use one index per
+// 64-source batch). The same ownership and determinism rules apply.
+func ParallelRange(g *Graph, count int, acquire func() *Walker, release func(*Walker), fn func(w *Walker, i int)) {
+	n := count
 	if n == 0 {
 		return
 	}

@@ -25,10 +25,14 @@ type Router interface {
 }
 
 // ShortestPath routes along BFS shortest paths; it caches the BFS tree per
-// source so repeated queries from one source are cheap.
+// source so repeated queries from one source are cheap, and rebuilds it in
+// place through a walker's allocation-free BFSPathsInto when the source
+// changes.
 type ShortestPath struct {
 	g          *graph.Graph
+	w          *graph.Walker
 	lastSrc    int32
+	lastDist   []int32
 	lastParent []int32
 }
 
@@ -36,14 +40,20 @@ var _ Router = (*ShortestPath)(nil)
 
 // NewShortestPath creates the baseline router.
 func NewShortestPath(g *graph.Graph) *ShortestPath {
-	return &ShortestPath{g: g, lastSrc: -1}
+	return &ShortestPath{
+		g:          g,
+		w:          graph.NewWalker(g),
+		lastSrc:    -1,
+		lastDist:   make([]int32, g.N()),
+		lastParent: make([]int32, g.N()),
+	}
 }
 
 // Route implements Router.
 func (r *ShortestPath) Route(s, t int32) ([]int32, error) {
 	if r.lastSrc != s {
-		_, parent := r.g.BFSPaths(int(s))
-		r.lastSrc, r.lastParent = s, parent
+		r.w.BFSPathsInto(int(s), r.lastDist, r.lastParent)
+		r.lastSrc = s
 	}
 	path := graph.PathTo(r.lastParent, int(t))
 	if path == nil {
