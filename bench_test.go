@@ -134,6 +134,38 @@ func BenchmarkFloodKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocolPhases measures the four distributed protocol phases
+// (neighborhood, centrality, election, Voronoi) on the simnet substrate,
+// pinning the serial reference engine against the allocation-free parallel
+// arena engine on the same networks. Both produce bit-identical results
+// (the engine-parity tests enforce it); the gap is pure simulator cost.
+func BenchmarkProtocolPhases(b *testing.B) {
+	for _, n := range []int{2592, 10368} {
+		net, err := BuildNetwork(NetworkSpec{
+			Shape: MustShape("window"), N: n, TargetDeg: 7, Seed: 1, Layout: LayoutGrid,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := net.Extract(DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, l, scope, alpha := res.EffectiveK, res.Params.L, res.EffectiveScope, res.Params.Alpha
+		for _, eng := range []SimEngine{SimEngineSerial, SimEngineParallel} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, eng), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := RunProtocolPhasesObs(net, k, l, scope, alpha,
+						ProtocolOptions{Engine: eng}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkExtractFresh measures the one-shot compatibility path: a
 // throwaway engine per call, as net.Extract does. The gap to
 // BenchmarkExtract is the cold-start cost the pooled engine saves.

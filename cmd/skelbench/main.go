@@ -65,8 +65,20 @@ func run() error {
 		tracePath = flag.String("trace", "", "write a structured span/event trace as JSONL (see cmd/skeltrace)")
 		metricsOn = flag.Bool("metrics", false, "dump Prometheus-text metrics on exit")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		engine    = flag.String("engine", "", "force the simnet round engine for the protocol phases: serial or parallel (empty = auto)")
 	)
 	flag.Parse()
+
+	switch *engine {
+	case "", "serial", "parallel":
+		if *engine != "" {
+			// The experiment drivers build their own simulators; the
+			// process-wide override is how a forced engine reaches them.
+			os.Setenv("BFSKEL_SIMNET_ENGINE", *engine)
+		}
+	default:
+		return fmt.Errorf("unknown -engine %q (want serial or parallel)", *engine)
+	}
 
 	if *pprofAddr != "" {
 		go func() {

@@ -283,8 +283,12 @@ func summarize(tr *trace, topK int) {
 		if len(sp.rounds) > 24 {
 			ell = " …"
 		}
-		fmt.Printf("  %-22s #%-4d rounds=%-4d messages=%-7d curve: %s%s\n",
-			sp.name, sp.id, len(sp.rounds)-1, total, strings.Join(curve, " "), ell)
+		eng := ""
+		if e, ok := sp.end["engine"].(string); ok && e != "" {
+			eng = " engine=" + e
+		}
+		fmt.Printf("  %-22s #%-4d rounds=%-4d messages=%-7d%s curve: %s%s\n",
+			sp.name, sp.id, len(sp.rounds)-1, total, eng, strings.Join(curve, " "), ell)
 	}
 
 	// Hottest nodes over all per-node counter events. Walk spans in start

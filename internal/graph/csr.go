@@ -47,3 +47,13 @@ func (g *Graph) Frozen() bool { return g.frozen }
 func (g *Graph) csr() (offsets, targets []int32, ok bool) {
 	return g.offsets, g.targets, g.frozen
 }
+
+// Offsets exposes the frozen CSR offsets array (length N+1): node v's
+// adjacency occupies positions offsets[v]..offsets[v+1] of the edge arena,
+// so offsets[v+1]-offsets[v] is its degree. Callers that lay out per-node
+// buffers with degree capacity (the simnet round engine's inbox arena) index
+// them with the same array instead of recomputing a prefix sum. ok is false
+// while the graph is thawed; the slice is shared and must not be modified.
+func (g *Graph) Offsets() (offsets []int32, ok bool) {
+	return g.offsets, g.frozen
+}

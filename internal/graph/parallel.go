@@ -23,43 +23,77 @@ func ParallelNodes(g *Graph, acquire func() *Walker, release func(*Walker), fn f
 // the unit of work need not be a node (the MS-BFS drivers use one index per
 // 64-source batch). The same ownership and determinism rules apply.
 func ParallelRange(g *Graph, count int, acquire func() *Walker, release func(*Walker), fn func(w *Walker, i int)) {
-	n := count
-	if n == 0 {
+	ParallelChunks(count, runtime.GOMAXPROCS(0), func(_, lo, hi int) {
+		var w *Walker
+		if acquire != nil {
+			w = acquire()
+		} else {
+			w = NewWalker(g)
+		}
+		for v := lo; v < hi; v++ {
+			fn(w, v)
+		}
+		if release != nil {
+			release(w)
+		}
+	})
+}
+
+// ParallelChunks partitions 0..count-1 into at most maxChunks contiguous
+// chunks and runs fn(ci, lo, hi) concurrently, one goroutine per chunk;
+// chunk ci covers the half-open range [lo, hi). It is the scheduling
+// primitive under ParallelNodes/ParallelRange, exposed for callers that
+// need per-chunk state other than a Walker (the simnet round engine keys
+// its per-worker send queues by ci).
+//
+// The chunk boundaries depend only on count and maxChunks, and chunk ci
+// always covers lower indices than chunk ci+1, so callers that combine
+// per-chunk results in ci order observe a deterministic global order
+// regardless of scheduling. fn must confine its writes to state owned by
+// its chunk or its indices. With a single chunk, fn runs inline on the
+// calling goroutine. A panic in any chunk is re-raised on the calling
+// goroutine after all chunks finish.
+func ParallelChunks(count, maxChunks int, fn func(ci, lo, hi int)) {
+	if count <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	workers := maxChunks
+	if workers > count {
+		workers = count
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		fn(0, 0, count)
+		return
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		lo, hi := i*chunk, (i+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
+	chunk := (count + workers - 1) / workers
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked bool
+		panicVal any
+	)
+	for ci := 0; ci*chunk < count; ci++ {
+		lo, hi := ci*chunk, (ci+1)*chunk
+		if hi > count {
+			hi = count
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(ci, lo, hi int) {
 			defer wg.Done()
-			var w *Walker
-			if acquire != nil {
-				w = acquire()
-			} else {
-				w = NewWalker(g)
-			}
-			for v := lo; v < hi; v++ {
-				fn(w, v)
-			}
-			if release != nil {
-				release(w)
-			}
-		}(lo, hi)
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if !panicked {
+						panicked, panicVal = true, r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(ci, lo, hi)
+		}(ci, lo, hi)
 	}
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
 }

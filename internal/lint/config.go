@@ -25,14 +25,21 @@ type Config struct {
 //     and the CLIs (so a stray report timestamp needs a sanction comment).
 //   - obsnil runs everywhere except inside internal/obs itself, which owns
 //     the handle internals.
-//   - poolpair and atomicmix run everywhere.
+//   - poolpair and atomicmix run everywhere (the empty scope): the pool
+//     hygiene rules cover the staged extraction engine (internal/core) and
+//     the simnet parallel round engine's pooled arena state, and atomicmix
+//     guards the chunk-parallel stepping paths (internal/graph,
+//     internal/simnet) where a stray plain counter beside an atomic one
+//     would be a data race.
 func DefaultConfig() *Config {
 	return &Config{Scopes: map[string]Scope{
 		"determinism": {Include: []string{
 			"internal/core", "internal/graph", "internal/protocol",
 			"internal/simnet", "internal/deploy", "internal/obs", "cmd",
 		}},
-		"obsnil": {Exclude: []string{"internal/obs"}},
+		"obsnil":    {Exclude: []string{"internal/obs"}},
+		"poolpair":  {},
+		"atomicmix": {},
 	}}
 }
 

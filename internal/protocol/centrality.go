@@ -13,65 +13,93 @@ type sizeEntry struct {
 	Hops int32
 }
 
-// sizeBatch is one transmission's set of newly learned sizes.
+// sizeBatch is one transmission's set of newly learned sizes (the
+// generic-payload form; the program transmits kindSizeBatch packed words
+// but still accepts this shape on receive).
 type sizeBatch struct {
 	Entries []sizeEntry
+}
+
+// sizeHop is the flatmap record of one learned neighbor: its K-hop size and
+// the smallest hop counter it arrived with.
+type sizeHop struct {
+	size int32
+	hops int32
 }
 
 // centralityProgram is the second round of controlled flooding (paper
 // Sec. III-A): each node broadcasts its K-hop neighborhood size within its
 // L-hop neighbors, then computes its L-centrality and index. Hop counters
 // travel in the payload with minimum-hop re-forwarding, so the phase is
-// exact under message jitter.
+// exact under message jitter. Batches travel as kindSizeBatch packed words
+// — two words per (ID, size, hops) entry — over a single flatmap table.
 type centralityProgram struct {
 	l     int32
 	own   sizeEntry
-	sizes map[int32]int32 // ID -> K-hop size
-	hops  map[int32]int32 // ID -> smallest hop counter heard
-	fresh []sizeEntry
+	tab   flatmap[sizeHop] // ID -> (K-hop size, smallest hop counter heard)
+	words []uint64         // scratch: this step's re-forward batch
 }
 
 var _ simnet.Program = (*centralityProgram)(nil)
 
 func (p *centralityProgram) Init(ctx *simnet.Context) {
-	p.sizes = map[int32]int32{p.own.ID: p.own.Size}
-	p.hops = map[int32]int32{p.own.ID: 0}
-	ctx.Broadcast(sizeBatch{Entries: []sizeEntry{{ID: p.own.ID, Size: p.own.Size, Hops: 1}}})
+	// Geometric estimate of |N_l|, as in neighborhoodProgram.Init.
+	p.tab.reserve(ctx.Degree() * int(p.l) * int(p.l))
+	p.tab.put(p.own.ID, sizeHop{size: p.own.Size, hops: 0})
+	p.words = make([]uint64, 0, 128) // one alloc up front beats append growth
+	p.words = append(p.words, packPair(p.own.ID, p.own.Size), 1)
+	ctx.BroadcastPacked(kindSizeBatch, p.words)
 }
 
 func (p *centralityProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
-	p.fresh = p.fresh[:0]
+	p.words = p.words[:0]
 	for _, env := range inbox {
+		if kind, ws, ok := env.Packed(); ok {
+			if kind != kindSizeBatch {
+				continue
+			}
+			for i := 0; i+1 < len(ws); i += 2 {
+				id, size := unpackPair(ws[i])
+				p.learn(id, size, int32(ws[i+1]))
+			}
+			continue
+		}
 		batch, ok := env.Payload.(sizeBatch)
 		if !ok {
 			continue
 		}
 		for _, e := range batch.Entries {
-			if prev, seen := p.hops[e.ID]; seen && prev <= e.Hops {
-				continue
-			}
-			p.hops[e.ID] = e.Hops
-			p.sizes[e.ID] = e.Size
-			if e.Hops < p.l {
-				p.fresh = append(p.fresh, sizeEntry{ID: e.ID, Size: e.Size, Hops: e.Hops + 1})
-			}
+			p.learn(e.ID, e.Size, e.Hops)
 		}
 	}
-	if len(p.fresh) > 0 {
-		entries := make([]sizeEntry, len(p.fresh))
-		copy(entries, p.fresh)
-		ctx.Broadcast(sizeBatch{Entries: entries})
+	if len(p.words) > 0 {
+		ctx.BroadcastPacked(kindSizeBatch, p.words)
+	}
+}
+
+// learn applies minimum-hop dedup and queues in-horizon entries for
+// re-forwarding, exactly as neighborhoodProgram.learn.
+func (p *centralityProgram) learn(id, size, hops int32) {
+	if prev, seen := p.tab.get(id); seen && prev.hops <= hops {
+		return
+	}
+	p.tab.put(id, sizeHop{size: size, hops: hops})
+	if hops < p.l {
+		p.words = append(p.words, packPair(id, size), uint64(hops+1))
 	}
 }
 
 // centrality returns c_L(p): the average K-hop size over the learned L-hop
-// neighborhood including the node itself (matching core.indexField).
+// neighborhood including the node itself (matching core.indexField). The
+// sum is integer, so the result is independent of table iteration order.
 func (p *centralityProgram) centrality() float64 {
 	var sum int64
-	for _, s := range p.sizes {
-		sum += int64(s)
+	for _, s := range p.tab.slots {
+		if s.key != -1 {
+			sum += int64(s.val.size)
+		}
 	}
-	return float64(sum) / float64(len(p.sizes))
+	return float64(sum) / float64(p.tab.len())
 }
 
 // runCentrality executes the centrality phase and derives the index.

@@ -33,7 +33,8 @@ type electionProgram struct {
 	scope int32
 	own   claim
 	best  claim
-	hops  int32 // smallest hop counter the best claim arrived with
+	hops  int32     // smallest hop counter the best claim arrived with
+	buf   [2]uint64 // scratch: kindClaim wire form
 }
 
 var _ simnet.Program = (*electionProgram)(nil)
@@ -41,14 +42,22 @@ var _ simnet.Program = (*electionProgram)(nil)
 func (p *electionProgram) Init(ctx *simnet.Context) {
 	p.best = p.own
 	p.hops = 0
-	ctx.Broadcast(claim{ID: p.own.ID, Index: p.own.Index, Hops: 1})
+	p.buf[0], p.buf[1] = packClaim(claim{ID: p.own.ID, Index: p.own.Index, Hops: 1})
+	ctx.BroadcastPacked(kindClaim, p.buf[:])
 }
 
 func (p *electionProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
 	improved := false
 	for _, env := range inbox {
-		c, ok := env.Payload.(claim)
-		if !ok {
+		var c claim
+		if kind, ws, ok := env.Packed(); ok {
+			if kind != kindClaim || len(ws) != 2 {
+				continue
+			}
+			c = unpackClaim(ws[0], ws[1])
+		} else if gc, ok := env.Payload.(claim); ok {
+			c = gc
+		} else {
 			continue
 		}
 		switch {
@@ -63,7 +72,8 @@ func (p *electionProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
 		}
 	}
 	if improved && p.hops < p.scope {
-		ctx.Broadcast(claim{ID: p.best.ID, Index: p.best.Index, Hops: p.hops + 1})
+		p.buf[0], p.buf[1] = packClaim(claim{ID: p.best.ID, Index: p.best.Index, Hops: p.hops + 1})
+		ctx.BroadcastPacked(kindClaim, p.buf[:])
 	}
 }
 

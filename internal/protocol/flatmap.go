@@ -1,0 +1,115 @@
+package protocol
+
+// flatmap is a minimal open-addressing hash table from int32 keys to V,
+// tuned for the protocol programs' per-node dedup tables (ID -> hops, ID ->
+// size). The Go built-in map dominated the phases' allocation profile — one
+// map header plus buckets per node per phase, rehashed as floods grow the
+// tables — while this layout is one flat slot array that a program reuses
+// across its whole run. Key and value share a slot, so a lookup touches one
+// cache line, and a slot array of int32-based values contains no pointers
+// for the GC to scan.
+//
+// Keys must be non-negative (node IDs). Linear probing over a
+// power-of-two table, grown at 3/4 load; the zero flatmap is ready to use.
+type flatmap[V any] struct {
+	slots []fslot[V]
+	used  int
+}
+
+// fslot is one table slot; key -1 marks it empty.
+type fslot[V any] struct {
+	key int32
+	val V
+}
+
+// hash32 is Fibonacci hashing with an avalanche tail — dense sequential
+// node IDs spread uniformly over the table.
+func hash32(k int32) uint32 {
+	x := uint32(k) * 2654435761
+	x ^= x >> 16
+	return x
+}
+
+// get returns the value stored under k.
+func (m *flatmap[V]) get(k int32) (v V, ok bool) {
+	if m.used == 0 {
+		return v, false
+	}
+	mask := uint32(len(m.slots) - 1)
+	for i := hash32(k) & mask; ; i = (i + 1) & mask {
+		switch m.slots[i].key {
+		case k:
+			return m.slots[i].val, true
+		case -1:
+			return v, false
+		}
+	}
+}
+
+// put stores v under k, inserting or overwriting.
+func (m *flatmap[V]) put(k int32, v V) {
+	if m.used*4 >= len(m.slots)*3 {
+		m.grow()
+	}
+	mask := uint32(len(m.slots) - 1)
+	for i := hash32(k) & mask; ; i = (i + 1) & mask {
+		switch m.slots[i].key {
+		case k:
+			m.slots[i].val = v
+			return
+		case -1:
+			m.slots[i] = fslot[V]{key: k, val: v}
+			m.used++
+			return
+		}
+	}
+}
+
+// len returns the number of stored keys.
+func (m *flatmap[V]) len() int { return m.used }
+
+// reserve sizes the table so n entries fit at a comfortable load factor
+// without rehashing. The flooding programs call it once with their
+// geometric neighborhood-size estimate (degree * radius^2), replacing the
+// 16 -> 32 -> ... grow chain with a single allocation.
+func (m *flatmap[V]) reserve(n int) {
+	need := n*3/2 + 1
+	size := 16
+	for size < need {
+		size *= 2
+	}
+	if size <= len(m.slots) {
+		return
+	}
+	m.rehash(size)
+}
+
+// grow doubles the table (min 16 slots).
+func (m *flatmap[V]) grow() {
+	if len(m.slots) == 0 {
+		m.rehash(16)
+		return
+	}
+	m.rehash(len(m.slots) * 2)
+}
+
+// rehash moves the table to a fresh power-of-two size.
+func (m *flatmap[V]) rehash(size int) {
+	old := m.slots
+	m.slots = make([]fslot[V], size)
+	for i := range m.slots {
+		m.slots[i].key = -1
+	}
+	mask := uint32(size - 1)
+	for _, s := range old {
+		if s.key == -1 {
+			continue
+		}
+		for j := hash32(s.key) & mask; ; j = (j + 1) & mask {
+			if m.slots[j].key == -1 {
+				m.slots[j] = s
+				break
+			}
+		}
+	}
+}

@@ -14,7 +14,9 @@ type idHop struct {
 	Hops int32
 }
 
-// idBatch is one transmission's set of newly learned identities.
+// idBatch is one transmission's set of newly learned identities (the
+// generic-payload form; the program itself transmits kindIDBatch packed
+// words but still accepts this shape on receive).
 type idBatch struct {
 	Entries []idHop
 }
@@ -23,50 +25,70 @@ type idBatch struct {
 // flooding (paper Sec. III-A, first round of flooding): each entry carries
 // its hop counter; a node records unknown IDs and re-forwards them while
 // the counter is below K, batching everything learned in one step into a
-// single transmission.
+// single transmission. Batches travel as kindIDBatch packed words — one
+// word per (ID, hops) entry — and the dedup table is a flatmap, so a step
+// allocates only when the table grows.
 type neighborhoodProgram struct {
 	k     int32
-	known map[int32]int32 // ID -> smallest hop counter heard
-	fresh []idHop
+	known flatmap[int32] // ID -> smallest hop counter heard
+	words []uint64       // scratch: this step's re-forward batch
 }
 
 var _ simnet.Program = (*neighborhoodProgram)(nil)
 
 func (p *neighborhoodProgram) Init(ctx *simnet.Context) {
-	p.known = map[int32]int32{int32(ctx.ID()): 0}
-	ctx.Broadcast(idBatch{Entries: []idHop{{ID: int32(ctx.ID()), Hops: 1}}})
+	// Geometric estimate of |N_k|: a k-hop disk holds about degree * k^2
+	// nodes on a roughly uniform deployment.
+	p.known.reserve(ctx.Degree() * int(p.k) * int(p.k))
+	p.known.put(int32(ctx.ID()), 0)
+	p.words = make([]uint64, 0, 64) // one alloc up front beats append growth
+	p.words = append(p.words, packPair(int32(ctx.ID()), 1))
+	ctx.BroadcastPacked(kindIDBatch, p.words)
 }
 
 func (p *neighborhoodProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
-	p.fresh = p.fresh[:0]
+	p.words = p.words[:0]
 	for _, env := range inbox {
+		if kind, ws, ok := env.Packed(); ok {
+			if kind != kindIDBatch {
+				continue
+			}
+			for _, w := range ws {
+				id, hops := unpackPair(w)
+				p.learn(id, hops)
+			}
+			continue
+		}
 		batch, ok := env.Payload.(idBatch)
 		if !ok {
 			continue
 		}
 		for _, e := range batch.Entries {
-			// Record the smallest hop counter per ID; under message jitter
-			// an identity can first arrive via a longer route, and the
-			// shorter one must still be re-forwarded so fringe nodes within
-			// the K-hop horizon are not missed.
-			if prev, seen := p.known[e.ID]; seen && prev <= e.Hops {
-				continue
-			}
-			p.known[e.ID] = e.Hops
-			if e.Hops < p.k {
-				p.fresh = append(p.fresh, idHop{ID: e.ID, Hops: e.Hops + 1})
-			}
+			p.learn(e.ID, e.Hops)
 		}
 	}
-	if len(p.fresh) > 0 {
-		entries := make([]idHop, len(p.fresh))
-		copy(entries, p.fresh)
-		ctx.Broadcast(idBatch{Entries: entries})
+	if len(p.words) > 0 {
+		ctx.BroadcastPacked(kindIDBatch, p.words)
+	}
+}
+
+// learn records the smallest hop counter per ID and queues the entry for
+// re-forwarding while it is still inside the K-hop horizon. Under message
+// jitter an identity can first arrive via a longer route, and the shorter
+// one must still be re-forwarded so fringe nodes within the horizon are not
+// missed.
+func (p *neighborhoodProgram) learn(id, hops int32) {
+	if prev, seen := p.known.get(id); seen && prev <= hops {
+		return
+	}
+	p.known.put(id, hops)
+	if hops < p.k {
+		p.words = append(p.words, packPair(id, hops+1))
 	}
 }
 
 // size returns |N_k| (the node itself excluded).
-func (p *neighborhoodProgram) size() int { return len(p.known) - 1 }
+func (p *neighborhoodProgram) size() int { return p.known.len() - 1 }
 
 // runNeighborhood executes the K-hop discovery phase.
 func runNeighborhood(g *graph.Graph, k int, po phaseOpts) ([]int, simnet.Stats, error) {

@@ -27,6 +27,17 @@ import (
 // are named "phase.<name>".
 var PhaseNames = [4]string{"neighborhood", "centrality", "election", "voronoi"}
 
+// Engine re-exports the simnet round-engine selector so callers configuring
+// a protocol run do not need to import simnet directly.
+type Engine = simnet.Engine
+
+// Engine selector values; see simnet.Engine.
+const (
+	EngineAuto     = simnet.EngineAuto
+	EngineSerial   = simnet.EngineSerial
+	EngineParallel = simnet.EngineParallel
+)
+
 // Result carries the distributed computation's outputs plus the per-phase
 // simulation statistics.
 type Result struct {
@@ -84,6 +95,10 @@ type Options struct {
 	// phase span also carries a "nodes" event with the full counter
 	// arrays, which cmd/skeltrace reduces to the hottest nodes.
 	RecordPerNode bool
+	// Engine selects the simnet round engine for every phase. The zero
+	// value (EngineAuto) picks per phase by graph size; outputs and
+	// statistics are identical either way — only cost differs.
+	Engine Engine
 }
 
 // phaseOpts is the per-phase slice of Options handed to each phase runner.
@@ -93,6 +108,7 @@ type phaseOpts struct {
 	span          *obs.Span
 	recordRounds  bool
 	recordPerNode bool
+	engine        Engine
 }
 
 // configure applies the options to a freshly built simulator.
@@ -101,6 +117,7 @@ func (po phaseOpts) configure(sim *simnet.Sim) {
 	sim.Span = po.span
 	sim.RecordRounds = po.recordRounds
 	sim.RecordPerNode = po.recordPerNode
+	sim.Engine = po.engine
 }
 
 // Run executes the four protocol phases on the graph. k, l and scope are
@@ -146,6 +163,7 @@ func RunOpts(g *graph.Graph, k, l, scope int, alpha int32, opts Options) (*Resul
 			span:          span,
 			recordRounds:  opts.RecordRounds,
 			recordPerNode: opts.RecordPerNode,
+			engine:        opts.Engine,
 		})
 		res.PhaseStats[i] = stats
 		if err != nil {
@@ -156,7 +174,8 @@ func RunOpts(g *graph.Graph, k, l, scope int, alpha int32, opts Options) (*Resul
 		if opts.RecordPerNode && stats.NodeSent != nil {
 			span.Event("nodes", obs.Any("sent", stats.NodeSent), obs.Any("recv", stats.NodeRecv))
 		}
-		span.End(obs.Int("messages", stats.Messages), obs.Int("rounds", stats.Rounds))
+		span.End(obs.Int("messages", stats.Messages), obs.Int("rounds", stats.Rounds),
+			obs.Str("engine", stats.Engine))
 		if m := opts.Metrics; m != nil {
 			m.Counter(obs.Label("bfskel_protocol_messages_total", "phase", name)).Add(int64(stats.Messages))
 			m.Counter(obs.Label("bfskel_protocol_rounds_total", "phase", name)).Add(int64(stats.Rounds))

@@ -12,7 +12,9 @@ type siteAnnounce struct {
 	Dist int32
 }
 
-// voronoiBatch is one transmission's set of new or improved site records.
+// voronoiBatch is one transmission's set of new or improved site records
+// (the generic-payload form; the program transmits kindVoronoiBatch packed
+// words but still accepts this shape on receive).
 type voronoiBatch struct {
 	Entries []siteAnnounce
 }
@@ -26,12 +28,14 @@ type voronoiBatch struct {
 // centralized pruned multi-source BFS even when message timing is jittered;
 // when the nearest distance shrinks, records that fall out of the Alpha
 // window are dropped.
+// Batches travel as kindVoronoiBatch packed words — one word per
+// (site, dist) entry.
 type voronoiProgram struct {
 	alpha   int32
 	site    bool
 	dmin    int32
 	records []record
-	fresh   []siteAnnounce
+	words   []uint64 // scratch: this step's re-forward batch
 }
 
 // record is a recorded site with its distance and reverse-path parent.
@@ -45,40 +49,56 @@ var _ simnet.Program = (*voronoiProgram)(nil)
 
 func (p *voronoiProgram) Init(ctx *simnet.Context) {
 	p.dmin = -1
+	p.words = make([]uint64, 0, 16) // one alloc up front beats append growth
 	if p.site {
 		p.dmin = 0
 		p.records = append(p.records, record{site: int32(ctx.ID()), dist: 0, parent: int32(ctx.ID())})
-		ctx.Broadcast(voronoiBatch{Entries: []siteAnnounce{{Site: int32(ctx.ID()), Dist: 0}}})
+		p.words = append(p.words[:0], packPair(int32(ctx.ID()), 0))
+		ctx.BroadcastPacked(kindVoronoiBatch, p.words)
 	}
 }
 
 func (p *voronoiProgram) Step(ctx *simnet.Context, inbox []simnet.Envelope) {
-	p.fresh = p.fresh[:0]
+	p.words = p.words[:0]
 	for _, env := range inbox {
+		if kind, ws, ok := env.Packed(); ok {
+			if kind != kindVoronoiBatch {
+				continue
+			}
+			for _, w := range ws {
+				site, dist := unpackPair(w)
+				p.learn(site, dist, int32(env.From))
+			}
+			continue
+		}
 		batch, ok := env.Payload.(voronoiBatch)
 		if !ok {
 			continue
 		}
 		for _, a := range batch.Entries {
-			d := a.Dist + 1
-			if p.dmin != -1 && d > p.dmin+p.alpha {
-				continue
-			}
-			if !p.accept(a.Site, d, int32(env.From)) {
-				continue
-			}
-			if p.dmin == -1 || d < p.dmin {
-				p.dmin = d
-				p.dropStale()
-			}
-			p.fresh = append(p.fresh, siteAnnounce{Site: a.Site, Dist: d})
+			p.learn(a.Site, a.Dist, int32(env.From))
 		}
 	}
-	if len(p.fresh) > 0 {
-		entries := make([]siteAnnounce, len(p.fresh))
-		copy(entries, p.fresh)
-		ctx.Broadcast(voronoiBatch{Entries: entries})
+	if len(p.words) > 0 {
+		ctx.BroadcastPacked(kindVoronoiBatch, p.words)
 	}
+}
+
+// learn applies the Alpha-window accept/drop rule to one announced (site,
+// dist) wavefront entry and queues accepted entries for re-forwarding.
+func (p *voronoiProgram) learn(site, dist, from int32) {
+	d := dist + 1
+	if p.dmin != -1 && d > p.dmin+p.alpha {
+		return
+	}
+	if !p.accept(site, d, from) {
+		return
+	}
+	if p.dmin == -1 || d < p.dmin {
+		p.dmin = d
+		p.dropStale()
+	}
+	p.words = append(p.words, packPair(site, d))
 }
 
 // accept records or improves the (site, dist) entry; it reports whether the

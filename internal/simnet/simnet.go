@@ -4,6 +4,13 @@
 // non-empty inbox takes a step. The simulator counts messages and rounds,
 // which backs the complexity measurements of paper Sec. V-A (message
 // complexity O((k+l+1)n), time complexity O(sqrt(n))).
+//
+// Two round engines execute the same Program/Context contract (see Engine):
+// a straightforward serial reference engine, and an allocation-free engine
+// that steps the touched nodes in parallel chunks and merges their send
+// queues deterministically. Every observable number — Stats.Messages,
+// Rounds, PerRound, per-node counters, inbox contents and order — is
+// bit-identical between the two.
 package simnet
 
 import (
@@ -20,12 +27,31 @@ import (
 // configured round budget.
 var ErrRoundLimit = errors.New("simnet: round limit exceeded")
 
-// Envelope is a delivered message.
+// Envelope is a delivered message. The generic Payload carries arbitrary
+// program-defined bodies; messages sent with SendPacked/BroadcastPacked
+// travel on the typed fast path instead and are read back with Packed.
+// Envelopes (and any packed words they expose) are engine-owned: they are
+// valid only for the duration of the Step call that receives them.
 type Envelope struct {
 	// From is the sending node's ID.
 	From int
-	// Payload is the protocol-defined message body.
+	// Payload is the protocol-defined message body; nil for messages sent
+	// on the packed fast path.
 	Payload any
+
+	// Packed fast-path body: a kind tag plus opaque words, arena-allocated
+	// by the round engine so built-in protocols send without boxing.
+	kind   uint8
+	packed bool
+	words  []uint64
+}
+
+// Packed returns the typed fast-path body of the message: the
+// protocol-defined kind tag and the packed words. ok is false for generic
+// (Payload) messages. The words alias engine-owned memory and must not be
+// retained beyond the Step call.
+func (e Envelope) Packed() (kind uint8, words []uint64, ok bool) {
+	return e.kind, e.words, e.packed
 }
 
 // Context is handed to a Program during Init and Step; it exposes the node's
@@ -33,6 +59,9 @@ type Envelope struct {
 type Context struct {
 	sim  *Sim
 	node int
+	// w is the parallel engine's per-chunk send queue; nil while the serial
+	// engine is stepping, in which case sends deliver immediately.
+	w *parWorker
 }
 
 // ID returns the node's ID.
@@ -52,7 +81,33 @@ func (c *Context) Send(to int, payload any) {
 	if !c.sim.g.HasEdge(c.node, to) {
 		panic(fmt.Sprintf("simnet: node %d sent to non-neighbor %d", c.node, to))
 	}
-	c.sim.post(c.node, to, payload)
+	if c.w != nil {
+		c.w.push(sendOp{from: int32(c.node), to: int32(to), gen: payload})
+	} else {
+		c.sim.deliver(to, Envelope{From: c.node, Payload: payload})
+		c.sim.stats.Messages++
+	}
+	c.sim.noteSend(c.node)
+}
+
+// SendPacked is Send on the typed fast path: the message body is a
+// protocol-defined kind tag plus packed words. The engine copies the words
+// before returning, so the caller may reuse the backing slice immediately
+// (the idiom is a per-program scratch buffer refilled every Step).
+func (c *Context) SendPacked(to int, kind uint8, words []uint64) {
+	if !c.sim.g.HasEdge(c.node, to) {
+		panic(fmt.Sprintf("simnet: node %d sent to non-neighbor %d", c.node, to))
+	}
+	if c.w != nil {
+		c.w.pushPacked(int32(c.node), int32(to), kind, words)
+	} else {
+		c.sim.deliver(to, Envelope{
+			From: c.node, kind: kind, packed: true,
+			words: append([]uint64(nil), words...),
+		})
+		c.sim.stats.Messages++
+	}
+	c.sim.noteSend(c.node)
 }
 
 // Broadcast queues the payload to every neighbor as a single wireless
@@ -60,14 +115,39 @@ func (c *Context) Send(to int, payload any) {
 // matching the paper's accounting (one flooding retransmission = one
 // message), under which skeleton extraction costs O((k+l+1)n) messages.
 func (c *Context) Broadcast(payload any) {
-	neighbors := c.sim.g.Neighbors(c.node)
-	if len(neighbors) == 0 {
+	if c.sim.g.Degree(c.node) == 0 {
 		return
 	}
-	for _, v := range neighbors {
-		c.sim.deliver(c.node, int(v), payload)
+	if c.w != nil {
+		c.w.push(sendOp{from: int32(c.node), to: -1, gen: payload})
+	} else {
+		env := Envelope{From: c.node, Payload: payload}
+		for _, v := range c.sim.g.Neighbors(c.node) {
+			c.sim.deliver(int(v), env)
+		}
+		c.sim.stats.Messages++
 	}
-	c.sim.stats.Messages++
+	c.sim.noteSend(c.node)
+}
+
+// BroadcastPacked is Broadcast on the typed fast path; see SendPacked for
+// the copy contract. All neighbors receive views of one shared copy.
+func (c *Context) BroadcastPacked(kind uint8, words []uint64) {
+	if c.sim.g.Degree(c.node) == 0 {
+		return
+	}
+	if c.w != nil {
+		c.w.pushPacked(int32(c.node), -1, kind, words)
+	} else {
+		env := Envelope{
+			From: c.node, kind: kind, packed: true,
+			words: append([]uint64(nil), words...),
+		}
+		for _, v := range c.sim.g.Neighbors(c.node) {
+			c.sim.deliver(int(v), env)
+		}
+		c.sim.stats.Messages++
+	}
 	c.sim.noteSend(c.node)
 }
 
@@ -77,6 +157,8 @@ type Program interface {
 	Init(ctx *Context)
 	// Step runs whenever the node has incoming messages; inbox holds all
 	// messages delivered this round, in deterministic (sender, FIFO) order.
+	// The inbox (and any packed words) is engine-owned scratch, valid only
+	// until Step returns.
 	Step(ctx *Context, inbox []Envelope)
 }
 
@@ -101,6 +183,9 @@ type Stats struct {
 	Rounds int
 	// Messages is the total number of node-to-node messages delivered.
 	Messages int
+	// Engine names the round engine that executed the run ("serial" or
+	// "parallel"), after resolving Sim.Engine.
+	Engine string `json:",omitempty"`
 
 	// PerRound holds one entry per executed round (index 0 = Init) when
 	// Sim.RecordRounds was set; nil otherwise. The Messages entries sum to
@@ -109,6 +194,8 @@ type Stats struct {
 	// NodeSent and NodeRecv count per-node transmissions and received
 	// envelopes when Sim.RecordPerNode was set; nil otherwise. A broadcast
 	// counts one send for the transmitter and one receive per neighbor.
+	// Receives are counted when the envelope is handed to the inbox, so
+	// messages still in flight at an ErrRoundLimit abort are not included.
 	NodeSent []int `json:",omitempty"`
 	NodeRecv []int `json:",omitempty"`
 }
@@ -117,12 +204,15 @@ type Stats struct {
 type Sim struct {
 	g        *graph.Graph
 	programs []Program
-	inboxes  [][]Envelope
-	pending  map[int][]delivery
-	inFlight int
 	round    int
 	rng      *rand.Rand
 	stats    Stats
+
+	// Serial-engine delivery state.
+	inboxes  [][]Envelope
+	pending  map[int][]delivery
+	inFlight int
+
 	// MaxRounds bounds the simulation; 0 means 4*N + 64 rounds, generous
 	// for any flood-based protocol on a connected graph.
 	MaxRounds int
@@ -134,6 +224,10 @@ type Sim struct {
 	Jitter int
 	// JitterSeed makes jittered runs reproducible.
 	JitterSeed int64
+	// Engine selects the round engine (EngineAuto, the zero value, picks
+	// the parallel engine on large graphs). Outputs and statistics are
+	// identical either way.
+	Engine Engine
 
 	// RecordRounds enables per-round accounting into Stats.PerRound.
 	RecordRounds bool
@@ -147,7 +241,7 @@ type Sim struct {
 	Span *obs.Span
 }
 
-// delivery is an in-flight message with its arrival round.
+// delivery is an in-flight message with its destination.
 type delivery struct {
 	to  int
 	env Envelope
@@ -159,19 +253,7 @@ func New(g *graph.Graph, programs []Program) (*Sim, error) {
 	if len(programs) != g.N() {
 		return nil, fmt.Errorf("simnet: %d programs for %d nodes", len(programs), g.N())
 	}
-	return &Sim{
-		g:        g,
-		programs: programs,
-		inboxes:  make([][]Envelope, g.N()),
-		pending:  make(map[int][]delivery),
-	}, nil
-}
-
-// post queues a unicast message, counting one transmission.
-func (s *Sim) post(from, to int, payload any) {
-	s.deliver(from, to, payload)
-	s.stats.Messages++
-	s.noteSend(from)
+	return &Sim{g: g, programs: programs}, nil
 }
 
 // noteSend and noteRecv feed the optional per-node counters.
@@ -187,19 +269,24 @@ func (s *Sim) noteRecv(to int) {
 	}
 }
 
-// deliver queues a message without touching the transmission counter. With
-// jitter enabled the arrival is delayed by 0..Jitter extra rounds.
-func (s *Sim) deliver(from, to int, payload any) {
+// ensureRNG lazily builds the shared jitter source.
+func (s *Sim) ensureRNG() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.JitterSeed)) //lint:allow determinism seeded from JitterSeed; same seed, same jitter
+	}
+	return s.rng
+}
+
+// deliver queues a message on the serial engine, without touching the
+// transmission counter. With jitter enabled the arrival is delayed by
+// 0..Jitter extra rounds.
+func (s *Sim) deliver(to int, env Envelope) {
 	arrival := s.round + 1
 	if s.Jitter > 0 {
-		if s.rng == nil {
-			s.rng = rand.New(rand.NewSource(s.JitterSeed)) //lint:allow determinism seeded from JitterSeed; same seed, same jitter
-		}
-		arrival += s.rng.Intn(s.Jitter + 1)
+		arrival += s.ensureRNG().Intn(s.Jitter + 1)
 	}
-	s.pending[arrival] = append(s.pending[arrival], delivery{to: to, env: Envelope{From: from, Payload: payload}})
+	s.pending[arrival] = append(s.pending[arrival], delivery{to: to, env: env})
 	s.inFlight++
-	s.noteRecv(to)
 }
 
 // Run executes Init on every node and then rounds until no messages are in
@@ -214,10 +301,30 @@ func (s *Sim) Run() (Stats, error) {
 		s.stats.NodeSent = make([]int, s.g.N())
 		s.stats.NodeRecv = make([]int, s.g.N())
 	}
+	eng := s.resolveEngine()
+	s.stats.Engine = eng.String()
+	if eng == EngineParallel {
+		return s.runParallel(limit)
+	}
+	return s.runSerial(limit)
+}
+
+// runSerial is the reference engine: one node at a time, immediate
+// (round-buffered) delivery through a pending map.
+func (s *Sim) runSerial(limit int) (Stats, error) {
+	if s.inboxes == nil {
+		s.inboxes = make([][]Envelope, s.g.N())
+	}
+	if s.pending == nil {
+		s.pending = make(map[int][]delivery)
+	}
 	record := s.RecordRounds || s.Span != nil
 	sent := s.stats.Messages
+	// One Context for the whole run: the pointer escapes into the Program
+	// interface calls, so a per-node Context would heap-allocate per step.
+	ctx := Context{sim: s}
 	for v := range s.programs {
-		ctx := Context{sim: s, node: v}
+		ctx.node = v
 		s.programs[v].Init(&ctx)
 	}
 	if record {
@@ -235,10 +342,10 @@ func (s *Sim) Run() (Stats, error) {
 		arrivals := s.pending[s.round]
 		delete(s.pending, s.round)
 		s.inFlight -= len(arrivals)
-		touched := touchedNodes(arrivals, s.inboxes)
+		touched := s.distribute(arrivals)
 		sent = s.stats.Messages
 		for _, v := range touched {
-			ctx := Context{sim: s, node: v}
+			ctx.node = v
 			s.programs[v].Step(&ctx, s.inboxes[v])
 			s.inboxes[v] = s.inboxes[v][:0]
 		}
@@ -261,15 +368,20 @@ func (s *Sim) noteRound(round, messages, deliveries, active int) {
 		obs.Int("deliveries", deliveries), obs.Int("active", active))
 }
 
-// touchedNodes distributes arrivals into inboxes and returns the receiving
-// node IDs in ascending order (deterministic step order).
-func touchedNodes(arrivals []delivery, inboxes [][]Envelope) []int {
+// distribute hands this round's arrivals to their inboxes and returns the
+// receiving node IDs in ascending order (deterministic step order).
+// Receives are counted here — at delivery into the inbox — rather than at
+// enqueue time, so jittered in-flight messages are never stamped rounds
+// early and an ErrRoundLimit abort does not count messages that were never
+// delivered.
+func (s *Sim) distribute(arrivals []delivery) []int {
 	var touched []int
 	for _, d := range arrivals {
-		if len(inboxes[d.to]) == 0 {
+		if len(s.inboxes[d.to]) == 0 {
 			touched = append(touched, d.to)
 		}
-		inboxes[d.to] = append(inboxes[d.to], d.env)
+		s.inboxes[d.to] = append(s.inboxes[d.to], d.env)
+		s.noteRecv(d.to)
 	}
 	sort.Ints(touched)
 	return touched

@@ -35,6 +35,10 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// ProtocolOptions configures an observed distributed protocol run.
 	ProtocolOptions = protocol.Options
+	// SimEngine selects the simnet round engine behind the protocol phases
+	// (ProtocolOptions.Engine): the serial reference loop or the
+	// allocation-free parallel arena engine. Outputs are bit-identical.
+	SimEngine = protocol.Engine
 )
 
 // Re-exported trace record kinds (TraceRecord.Kind).
@@ -42,6 +46,14 @@ const (
 	TraceSpanStart = obs.KindSpanStart
 	TraceSpanEnd   = obs.KindSpanEnd
 	TraceEvent     = obs.KindEvent
+)
+
+// Round-engine selector values (ProtocolOptions.Engine); SimEngineAuto, the
+// zero value, picks per phase by graph size.
+const (
+	SimEngineAuto     = protocol.EngineAuto
+	SimEngineSerial   = protocol.EngineSerial
+	SimEngineParallel = protocol.EngineParallel
 )
 
 // NewTracer builds a tracer emitting to the given sink.
