@@ -79,15 +79,31 @@ func DetectBoundary(net *Network) *BoundaryResult {
 }
 
 // RunMAP extracts a medial axis with the MAP baseline from a detected
-// boundary.
+// boundary. It is a thin wrapper over the backend registry.
+//
+// Deprecated: call ExtractBackend(net, "map", BackendParams{Boundary:
+// StaticBoundary(b)}) and use the canonical BackendResult; the native
+// *MAPResult stays available as BackendResult.Native.
 func RunMAP(net *Network, b *BoundaryResult) *MAPResult {
-	return mapax.Extract(net.Graph, b, mapax.Options{})
+	res, _, err := ExtractBackend(net, "map", BackendParams{Boundary: StaticBoundary(b)})
+	if err != nil {
+		return nil
+	}
+	return res.Native.(*MAPResult)
 }
 
 // RunCASE extracts a skeleton with the CASE baseline from a detected
-// boundary.
+// boundary. It is a thin wrapper over the backend registry.
+//
+// Deprecated: call ExtractBackend(net, "case", BackendParams{Boundary:
+// StaticBoundary(b)}) and use the canonical BackendResult; the native
+// *CASEResult stays available as BackendResult.Native.
 func RunCASE(net *Network, b *BoundaryResult) *CASEResult {
-	return casex.Extract(net.Graph, b, casex.Options{})
+	res, _, err := ExtractBackend(net, "case", BackendParams{Boundary: StaticBoundary(b)})
+	if err != nil {
+		return nil
+	}
+	return res.Native.(*CASEResult)
 }
 
 // RunProtocolPhases runs phases 1-2 as true message-passing node programs

@@ -292,9 +292,13 @@ func (n *Network) Extractor() *Extractor {
 }
 
 // BatchItem is one extraction of a batch: a network plus its parameters.
+// Backend optionally names a registered skeleton backend for the
+// observability batch path (ExtractBatchObs); empty means "bfskel".
+// ExtractBatch itself always runs the core pipeline.
 type BatchItem struct {
 	Network *Network
 	Params  Params
+	Backend string
 }
 
 // ExtractBatch runs every item through a single pooled extraction engine,

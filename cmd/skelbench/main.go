@@ -66,6 +66,10 @@ func run() error {
 		metricsOn = flag.Bool("metrics", false, "dump Prometheus-text metrics on exit")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		engine    = flag.String("engine", "", "force the simnet round engine for the protocol phases: serial or parallel (empty = auto)")
+		scorePath = flag.String("scorecard", "", "run the cross-backend scorecard instead of the figures and write it as JSON to this path")
+		backends  = flag.String("backends", "bfskel,map,case,localsep", "comma-separated skeleton backends for -scorecard")
+		shapesF   = flag.String("shapes", "window,twoholes,spiral", "comma-separated shapes for -scorecard")
+		nOverride = flag.Int("n", 0, "override the node count of every -scorecard scenario (0 = per-shape paper defaults)")
 	)
 	flag.Parse()
 
@@ -101,6 +105,10 @@ func run() error {
 	}
 	if *metricsOn || *jsonPath != "" {
 		ob.Metrics = bfskel.NewMetricsRegistry()
+	}
+
+	if *scorePath != "" {
+		return runScorecard(*scorePath, *backends, *shapesF, *nOverride, *seed, ob, *metricsOn)
 	}
 
 	figures := bfskel.FigureNames()
@@ -143,6 +151,73 @@ func run() error {
 		if err := ob.Metrics.WritePrometheus(os.Stdout); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runScorecard drives the cross-backend comparison: every named backend
+// over every named shape through the facade's quality harness, printed as
+// an aligned table and written as machine-readable JSON.
+func runScorecard(path, backendList, shapeList string, nOverride int, seed int64, ob bfskel.ObsScope, metricsOn bool) error {
+	defaults := map[string]struct {
+		n   int
+		deg float64
+	}{}
+	fig1 := bfskel.Fig1Scenario()
+	defaults[fig1.ShapeName] = struct {
+		n   int
+		deg float64
+	}{fig1.N, fig1.Deg}
+	for _, sc := range bfskel.Fig4Scenarios() {
+		defaults[sc.ShapeName] = struct {
+			n   int
+			deg float64
+		}{sc.N, sc.Deg}
+	}
+
+	var scenarios []bfskel.ScorecardScenario
+	for _, name := range strings.Split(shapeList, ",") {
+		name = strings.TrimSpace(name)
+		shape, err := bfskel.ShapeByName(name)
+		if err != nil {
+			return err
+		}
+		d, ok := defaults[name]
+		if !ok {
+			d.n, d.deg = 2500, 7.0
+		}
+		if nOverride > 0 {
+			d.n = nOverride
+		}
+		scenarios = append(scenarios, bfskel.ScorecardScenario{
+			Name: name,
+			Spec: bfskel.NetworkSpec{
+				Shape: shape, N: d.n, TargetDeg: d.deg,
+				Seed: seed, Layout: bfskel.LayoutGrid,
+			},
+		})
+	}
+	names := strings.Split(backendList, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+
+	card, err := bfskel.RunScorecard(scenarios, names, ob)
+	if err != nil {
+		return err
+	}
+	card.Date = time.Now().UTC().Format(time.RFC3339) //lint:allow determinism report date stamp; results are keyed by Seed
+	fmt.Println(card)
+	data, err := json.MarshalIndent(card, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	if metricsOn {
+		return ob.Metrics.WritePrometheus(os.Stdout)
 	}
 	return nil
 }

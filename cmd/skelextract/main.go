@@ -29,6 +29,7 @@ func main() {
 func run() error {
 	var (
 		shapeName = flag.String("shape", "window", "deployment field (see -list)")
+		backendNm = flag.String("backend", "bfskel", "skeleton backend (bfskel, map, case, localsep)")
 		n         = flag.Int("n", 2592, "number of deployed nodes")
 		deg       = flag.Float64("deg", 6, "target average degree (UDG)")
 		seed      = flag.Int64("seed", 1, "deployment/link seed")
@@ -126,6 +127,12 @@ func run() error {
 	params := bfskel.DefaultParams()
 	params.K, params.L = *k, *l
 	params.LocalMaxScope = *scope
+	if *backendNm != "bfskel" {
+		if *svgDir != "" || *pngDir != "" || *jsonPath != "" {
+			return fmt.Errorf("-svg/-png/-json need the full pipeline result; they only work with -backend bfskel")
+		}
+		return runBackend(net, shape, *backendNm, params, ob, *n)
+	}
 	engine := net.ExtractorObs(ob)
 	engine.CollectMemStats = true
 	res, err := engine.Extract(params)
@@ -212,6 +219,32 @@ func run() error {
 			}
 			fmt.Println("wrote", path)
 		}
+	}
+	return nil
+}
+
+// runBackend extracts through a registered non-default skeleton backend and
+// prints the cross-backend summary the canonical result supports.
+func runBackend(net *bfskel.Network, shape bfskel.Shape, name string, params bfskel.Params, ob bfskel.ObsScope, deployed int) error {
+	res, stats, err := bfskel.ExtractBackend(net, name, bfskel.BackendParams{
+		Core: params, Tracer: ob.Tracer, Metrics: ob.Metrics,
+	})
+	if err != nil {
+		return fmt.Errorf("backend %s: %w (registered: %v)", name, err, bfskel.Backends())
+	}
+	fmt.Printf("shape=%s nodes=%d (largest component of %d deployed) avg.deg=%.2f backend=%s\n",
+		shape.Name, net.N(), deployed, net.AvgDegree(), name)
+	fmt.Printf("skeleton: nodes=%d cycles=%d components=%d (field holes=%d)\n",
+		res.Skeleton.NumNodes(), res.Skeleton.CycleRank(), res.Skeleton.Components(), shape.Holes())
+	if res.Boundary != nil {
+		fmt.Printf("boundary substrate: %d nodes\n", len(res.Boundary))
+	}
+	if stats != nil {
+		fmt.Println("stage timings:")
+		for _, ph := range stats.Phases {
+			fmt.Printf("  %-10s %10s\n", ph.Name, ph.Duration.Round(time.Microsecond))
+		}
+		fmt.Printf("  %-10s %10s\n", "total", stats.Total.Round(time.Microsecond))
 	}
 	return nil
 }

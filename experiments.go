@@ -499,17 +499,32 @@ func runBaselines(seed int64, ob ObsScope) ([]ExperimentRow, error) {
 	rows := []ExperimentRow{rowFor(sc, net, res)}
 	rows[0].Scenario = "ours-boundary-free"
 
+	// Every alternative runs through the backend registry: the boundary
+	// consumers share the detected substrate via a static provider, and the
+	// boundary-free local-separator backend rides the same seam.
 	b := DetectBoundary(net)
-	mres := RunMAP(net, b)
-	cres := RunCASE(net, b)
+	bp := BackendParams{Boundary: StaticBoundary(b), Tracer: ob.Tracer, Metrics: ob.Metrics}
+	var mres *MAPResult
+	var cres *CASEResult
 	for _, entry := range []struct {
-		name string
-		skel *Skeleton
+		backend string
+		name    string
 	}{
-		{"map-known-boundary", mres.Skeleton},
-		{"case-known-boundary", cres.Skeleton},
+		{"map", "map-known-boundary"},
+		{"case", "case-known-boundary"},
+		{"localsep", "localsep-boundary-free"},
 	} {
-		rep := Evaluate(net, &Result{Skeleton: entry.skel, CellOf: res.CellOf}, medial, 0)
+		bres, _, err := ExtractBackend(net, entry.backend, bp)
+		if err != nil {
+			return nil, err
+		}
+		switch native := bres.Native.(type) {
+		case *MAPResult:
+			mres = native
+		case *CASEResult:
+			cres = native
+		}
+		rep := Evaluate(net, &Result{Skeleton: bres.Skeleton, CellOf: res.CellOf}, medial, 0)
 		clr := 0.0
 		if rep.NetworkClearance > 0 {
 			clr = rep.MeanClearance / rep.NetworkClearance

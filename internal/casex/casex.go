@@ -65,6 +65,15 @@ type Result struct {
 
 // Extract runs the CASE baseline on a graph with known boundary.
 func Extract(g *graph.Graph, b *boundary.Result, opts Options) *Result {
+	return extractStaged(g, b, opts, func(_ string, fn func()) { fn() })
+}
+
+// extractStaged is the CASE pipeline split into named stages, each run
+// through the given hook — inline for the plain Extract entry point, or
+// under a timed "stage.<name>" span when driven by the registry backend.
+func extractStaged(g *graph.Graph, b *boundary.Result, opts Options,
+	stage func(name string, fn func())) *Result {
+
 	opts = opts.withDefaults()
 	res := &Result{BranchOf: make([]int, g.N())}
 	for i := range res.BranchOf {
@@ -72,46 +81,54 @@ func Extract(g *graph.Graph, b *boundary.Result, opts Options) *Result {
 	}
 
 	// Corner detection and branch labelling per cycle.
-	branch := 0
-	for _, cycle := range b.Cycles {
-		corners := detectCorners(g, cycle, opts)
-		res.Corners = append(res.Corners, corners)
-		branch = labelBranches(cycle, corners, res.BranchOf, branch)
-	}
-	res.NumBranches = branch
+	stage("corners", func() {
+		branch := 0
+		for _, cycle := range b.Cycles {
+			corners := detectCorners(g, cycle, opts)
+			res.Corners = append(res.Corners, corners)
+			branch = labelBranches(cycle, corners, res.BranchOf, branch)
+		}
+		res.NumBranches = branch
+	})
 
-	// Distance transform with branch-aware records.
-	_, records := g.MultiSourceRecords(b.Nodes, opts.TieSlack)
+	// Distance transform with branch-aware records; nodes whose nearest
+	// boundary nodes span two or more branches become skeleton nodes.
 	isSkel := make([]bool, g.N())
-	for v := 0; v < g.N(); v++ {
-		if b.IsBoundary[v] {
-			continue
-		}
-		seen := -1
-		for _, r := range records[v] {
-			br := res.BranchOf[r.Source]
-			if br == -1 {
+	stage("transform", func() {
+		_, records := g.MultiSourceRecords(b.Nodes, opts.TieSlack)
+		for v := 0; v < g.N(); v++ {
+			if b.IsBoundary[v] {
 				continue
 			}
-			if seen == -1 {
-				seen = br
-				continue
-			}
-			if br != seen {
-				isSkel[v] = true
-				break
+			seen := -1
+			for _, r := range records[v] {
+				br := res.BranchOf[r.Source]
+				if br == -1 {
+					continue
+				}
+				if seen == -1 {
+					seen = br
+					continue
+				}
+				if br != seen {
+					isSkel[v] = true
+					break
+				}
 			}
 		}
-	}
-	for v := 0; v < g.N(); v++ {
-		if isSkel[v] {
-			res.SkeletonNodes = append(res.SkeletonNodes, int32(v))
+		for v := 0; v < g.N(); v++ {
+			if isSkel[v] {
+				res.SkeletonNodes = append(res.SkeletonNodes, int32(v))
+			}
 		}
-	}
+	})
 
-	res.Skeleton = core.NewSkeleton(g.N())
-	connectSkeleton(g, isSkel, res.Skeleton)
-	core.PruneLeafBranches(res.Skeleton, opts.PruneLen)
+	// Connect and prune into CASE's skeleton arcs.
+	stage("connect", func() {
+		res.Skeleton = core.NewSkeleton(g.N())
+		core.ConnectWithin2(g, isSkel, res.Skeleton)
+		core.PruneLeafBranches(res.Skeleton, opts.PruneLen)
+	})
 	return res
 }
 
@@ -185,31 +202,6 @@ func labelBranches(cycle []int32, corners []int32, branchOf []int, next int) int
 		branchOf[v] = cur
 	}
 	return cur + 1
-}
-
-// connectSkeleton links skeleton nodes within two hops (bridging through
-// the intermediate node), forming CASE's skeleton arcs.
-func connectSkeleton(g *graph.Graph, isSkel []bool, skel *core.Skeleton) {
-	for v := 0; v < g.N(); v++ {
-		if !isSkel[v] {
-			continue
-		}
-		for _, u := range g.Neighbors(v) {
-			if isSkel[u] && int32(v) < u {
-				skel.AddPath([]int32{int32(v), u})
-			}
-		}
-		for _, w := range g.Neighbors(v) {
-			if isSkel[w] {
-				continue
-			}
-			for _, u := range g.Neighbors(int(w)) {
-				if isSkel[u] && int32(v) < u && !g.HasEdge(v, int(u)) {
-					skel.AddPath([]int32{int32(v), w, u})
-				}
-			}
-		}
-	}
 }
 
 // hopDistCapped returns the hop distance between a and b, or cap+1 when it

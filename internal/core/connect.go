@@ -1,0 +1,34 @@
+package core
+
+import "bfskel/internal/graph"
+
+// ConnectWithin2 links the member-flagged nodes of g into skel: direct
+// edges between members, plus 2-hop bridges through a single non-member
+// node when no direct member link exists. This is the shared arc
+// construction of the comparison backends — MAP's connected medial axis,
+// CASE's skeleton arcs, and the local-separator backend all connect their
+// selected node sets this way. Iteration is in ascending node ID, so the
+// produced skeleton is deterministic.
+func ConnectWithin2(g *graph.Graph, member []bool, skel *Skeleton) {
+	for v := 0; v < g.N(); v++ {
+		if !member[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if member[u] && int32(v) < u {
+				skel.AddPath([]int32{int32(v), u})
+			}
+		}
+		// 2-hop bridges, only when no direct member link exists.
+		for _, w := range g.Neighbors(v) {
+			if member[w] {
+				continue
+			}
+			for _, u := range g.Neighbors(int(w)) {
+				if member[u] && int32(v) < u && !g.HasEdge(v, int(u)) {
+					skel.AddPath([]int32{int32(v), w, u})
+				}
+			}
+		}
+	}
+}

@@ -20,9 +20,10 @@ type Config struct {
 // DefaultConfig is the repository policy:
 //
 //   - determinism runs over the pipeline packages whose outputs must be a
-//     pure function of the seed (core, graph, protocol, simnet, deploy),
-//     plus internal/obs (whose contract confines wall-clock to Time/Dur)
-//     and the CLIs (so a stray report timestamp needs a sanction comment).
+//     pure function of the seed (core, graph, protocol, simnet, deploy)
+//     and the backend seam above them (skeleton, localsep), plus
+//     internal/obs (whose contract confines wall-clock to Time/Dur) and
+//     the CLIs (so a stray report timestamp needs a sanction comment).
 //   - obsnil runs everywhere except inside internal/obs itself, which owns
 //     the handle internals.
 //   - poolpair and atomicmix run everywhere (the empty scope): the pool
@@ -35,7 +36,8 @@ func DefaultConfig() *Config {
 	return &Config{Scopes: map[string]Scope{
 		"determinism": {Include: []string{
 			"internal/core", "internal/graph", "internal/protocol",
-			"internal/simnet", "internal/deploy", "internal/obs", "cmd",
+			"internal/simnet", "internal/deploy", "internal/obs",
+			"internal/skeleton", "internal/localsep", "cmd",
 		}},
 		"obsnil":    {Exclude: []string{"internal/obs"}},
 		"poolpair":  {},

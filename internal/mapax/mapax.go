@@ -55,30 +55,50 @@ type Result struct {
 
 // Extract runs the MAP baseline on a graph with known boundary.
 func Extract(g *graph.Graph, b *boundary.Result, opts Options) *Result {
+	return extractStaged(g, b, opts, func(_ string, fn func()) { fn() })
+}
+
+// extractStaged is the MAP pipeline split into named stages, each run
+// through the given hook — inline for the plain Extract entry point, or
+// under a timed "stage.<name>" span when driven by the registry backend.
+func extractStaged(g *graph.Graph, b *boundary.Result, opts Options,
+	stage func(name string, fn func())) *Result {
+
 	opts = opts.withDefaults()
-	dmin, records := g.MultiSourceRecords(b.Nodes, opts.TieSlack)
+	res := &Result{Skeleton: core.NewSkeleton(g.N())}
 
-	cycleOf := make(map[int32]int, len(b.Nodes))
-	for ci, cycle := range b.Cycles {
-		for _, v := range cycle {
-			cycleOf[v] = ci
-		}
-	}
+	// Hop distance transform from the boundary, with tie records.
+	var records [][]graph.SourceRecord
+	stage("transform", func() {
+		res.DistToBoundary, records = g.MultiSourceRecords(b.Nodes, opts.TieSlack)
+	})
 
-	res := &Result{DistToBoundary: dmin, Skeleton: core.NewSkeleton(g.N())}
-	sep := newSeparation(g)
+	// Medial test: nearest boundary nodes on different cycles or far apart.
 	isMedial := make([]bool, g.N())
-	for v := 0; v < g.N(); v++ {
-		if b.IsBoundary[v] || dmin[v] == graph.Unreachable {
-			continue
+	stage("medial", func() {
+		cycleOf := make(map[int32]int, len(b.Nodes))
+		for ci, cycle := range b.Cycles {
+			for _, v := range cycle {
+				cycleOf[v] = ci
+			}
 		}
-		if medialAt(records[v], dmin[v], cycleOf, sep, opts) {
-			isMedial[v] = true
-			res.MedialNodes = append(res.MedialNodes, int32(v))
+		sep := newSeparation(g)
+		dmin := res.DistToBoundary
+		for v := 0; v < g.N(); v++ {
+			if b.IsBoundary[v] || dmin[v] == graph.Unreachable {
+				continue
+			}
+			if medialAt(records[v], dmin[v], cycleOf, sep, opts) {
+				isMedial[v] = true
+				res.MedialNodes = append(res.MedialNodes, int32(v))
+			}
 		}
-	}
+	})
 
-	connectMedial(g, isMedial, res.Skeleton)
+	// Connect medial nodes into MAP's medial-axis representation.
+	stage("connect", func() {
+		core.ConnectWithin2(g, isMedial, res.Skeleton)
+	})
 	return res
 }
 
@@ -173,31 +193,4 @@ func (s *separation) hopDistCapped(a, b, cap int32) int32 {
 		}
 	}
 	return cap + 1
-}
-
-// connectMedial links medial nodes that are mutual 1- or 2-hop neighbors,
-// inserting the bridging node for 2-hop links, which yields MAP's connected
-// medial-axis representation.
-func connectMedial(g *graph.Graph, isMedial []bool, skel *core.Skeleton) {
-	for v := 0; v < g.N(); v++ {
-		if !isMedial[v] {
-			continue
-		}
-		for _, u := range g.Neighbors(v) {
-			if isMedial[u] && int32(v) < u {
-				skel.AddPath([]int32{int32(v), u})
-			}
-		}
-		// 2-hop bridges, only when no direct medial link exists.
-		for _, w := range g.Neighbors(v) {
-			if isMedial[w] {
-				continue
-			}
-			for _, u := range g.Neighbors(int(w)) {
-				if isMedial[u] && int32(v) < u && !g.HasEdge(v, int(u)) {
-					skel.AddPath([]int32{int32(v), w, u})
-				}
-			}
-		}
-	}
 }

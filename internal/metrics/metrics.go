@@ -152,6 +152,33 @@ func meanNearest(ptsA []geom.Point, a []int32, ptsB []geom.Point, b []int32) flo
 	return sum / float64(len(a))
 }
 
+// SkeletonDistance measures how far skeleton a strays from reference
+// skeleton b over one deployment: the mean and maximum (Hausdorff)
+// distance from a's nodes to the nearest node of b, in field units. Unlike
+// Stability it is directed — the scorecard uses it to compare every backend
+// against the bfskel reference. Both values are -1 when either skeleton is
+// empty (a finite JSON-safe sentinel, unlike Stability's +Inf).
+func SkeletonDistance(pts []geom.Point, a, b *core.Skeleton) (mean, hausdorff float64) {
+	na, nb := a.Nodes(), b.Nodes()
+	if len(na) == 0 || len(nb) == 0 {
+		return -1, -1
+	}
+	for _, v := range na {
+		best := math.Inf(1)
+		for _, u := range nb {
+			if d := pts[v].Dist2(pts[u]); d < best {
+				best = d
+			}
+		}
+		d := math.Sqrt(best)
+		mean += d
+		if d > hausdorff {
+			hausdorff = d
+		}
+	}
+	return mean / float64(len(na)), hausdorff
+}
+
 // BoundaryPR scores a detected boundary node set against the geometric
 // truth: precision counts detected nodes within the band of the true
 // boundary, recall counts band nodes that were detected.

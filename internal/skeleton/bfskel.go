@@ -1,0 +1,66 @@
+package skeleton
+
+import (
+	"sync"
+
+	"bfskel/internal/core"
+	"bfskel/internal/graph"
+)
+
+func init() { Register(&coreBackend{}) }
+
+// coreBackend exposes the paper's staged extraction pipeline
+// (core.Extractor) as the "bfskel" registry backend. It wraps — never
+// reimplements — the engine: a pool of engines keeps the pooled scratch
+// (walkers, BFS buffers, arenas) and the batched MS-BFS path intact across
+// calls, and the produced Result.Core is bit-identical to a direct
+// core.Extractor run with the same graph and parameters.
+type coreBackend struct {
+	pool sync.Pool // of *core.Extractor
+}
+
+// Name implements Backend.
+func (*coreBackend) Name() string { return "bfskel" }
+
+// Capabilities implements Backend: boundary-free, produces the
+// segmentation and boundary by-products, preserves homotopy by
+// construction (genuine loops are kept during refinement).
+func (*coreBackend) Capabilities() Capabilities {
+	return Capabilities{Segmentation: true, Homotopy: true}
+}
+
+func (b *coreBackend) get(g *graph.Graph) *core.Extractor {
+	if e, ok := b.pool.Get().(*core.Extractor); ok {
+		e.Bind(g)
+		return e
+	}
+	return core.NewExtractor(g)
+}
+
+func (b *coreBackend) put(e *core.Extractor) {
+	e.Tracer, e.Metrics = nil, nil
+	b.pool.Put(e)
+}
+
+// Extract implements Backend by delegating to the staged engine. The
+// engine's own instrumentation already emits the canonical
+// extract→stage.* span shape, so no Run wrapper is layered on top.
+func (b *coreBackend) Extract(g *graph.Graph, p Params) (*Result, *Stats, error) {
+	e := b.get(g)
+	defer b.put(e)
+	e.Tracer, e.Metrics = p.Tracer, p.Metrics
+	res, err := e.Extract(p.EffectiveCore())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{
+		Backend:  "bfskel",
+		Nodes:    res.Skeleton.Nodes(),
+		Skeleton: res.Skeleton,
+		CellOf:   res.CellOf,
+		Boundary: res.Boundary,
+		Stats:    res.Stats,
+		Core:     res,
+		Native:   res,
+	}, res.Stats, nil
+}

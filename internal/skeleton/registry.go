@@ -1,0 +1,57 @@
+package skeleton
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry is the process-wide backend table. Built-in backends register
+// from their package init functions ("bfskel" here; "map", "case" and
+// "localsep" from their own packages when linked in), so the visible set is
+// exactly the set of imported backend packages.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend)
+)
+
+// Register adds a backend under its Name. It panics on an empty name or a
+// duplicate registration: backends are wired at init time, and a clash is
+// a programming error, not a runtime condition.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("skeleton: Register with empty backend name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("skeleton: backend %q registered twice", name))
+	}
+	registry[name] = b
+}
+
+// Get returns the named backend, or an error naming the registered set.
+func Get(name string) (Backend, error) {
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("skeleton: unknown backend %q (registered: %v)", name, List())
+	}
+	return b, nil
+}
+
+// List returns the registered backend names, sorted ascending, so every
+// caller observes the same deterministic order regardless of registration
+// sequence.
+func List() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}

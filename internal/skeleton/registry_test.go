@@ -1,0 +1,81 @@
+package skeleton
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"bfskel/internal/graph"
+)
+
+// fakeBackend is a registerable stub for registry tests.
+type fakeBackend struct{ name string }
+
+func (f fakeBackend) Name() string               { return f.name }
+func (f fakeBackend) Capabilities() Capabilities { return Capabilities{} }
+func (f fakeBackend) Extract(*graph.Graph, Params) (*Result, *Stats, error) {
+	return &Result{Backend: f.name}, &Stats{}, nil
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(fakeBackend{name: "zz-dup-test"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering the same name did not panic")
+		}
+	}()
+	Register(fakeBackend{name: "zz-dup-test"})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering an empty name did not panic")
+		}
+	}()
+	Register(fakeBackend{name: ""})
+}
+
+func TestGetUnknown(t *testing.T) {
+	_, err := Get("no-such-backend")
+	if err == nil {
+		t.Fatal("Get on an unknown name returned no error")
+	}
+	if !strings.Contains(err.Error(), "no-such-backend") {
+		t.Errorf("error does not name the missing backend: %v", err)
+	}
+	if !strings.Contains(err.Error(), "bfskel") {
+		t.Errorf("error does not list the registered set: %v", err)
+	}
+}
+
+func TestGetRegistered(t *testing.T) {
+	Register(fakeBackend{name: "zz-get-test"})
+	b, err := Get("zz-get-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "zz-get-test" {
+		t.Errorf("Get returned backend %q", b.Name())
+	}
+}
+
+func TestListSortedAndComplete(t *testing.T) {
+	Register(fakeBackend{name: "aa-list-test"})
+	Register(fakeBackend{name: "zz-list-test"})
+	names := List()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("List() not sorted: %v", names)
+	}
+	want := map[string]bool{"aa-list-test": false, "bfskel": false, "zz-list-test": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("List() is missing %q: %v", n, names)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"bfskel/internal/core"
 	"bfskel/internal/obs"
 	"bfskel/internal/protocol"
+	"bfskel/internal/skeleton"
 )
 
 // Re-exported observability types. A Tracer emits structured spans and
@@ -105,12 +106,38 @@ func RunProtocolPhasesObs(net *Network, k, l, scope int, alpha int32, opts Proto
 }
 
 // ExtractBatchObs is ExtractBatch with the scope's tracer and metrics
-// attached to the shared engine: each item's run emits its own "extract"
-// span tree.
+// attached and per-item backend routing: each item runs through the
+// registered backend it names (empty means "bfskel", bit-identical to the
+// core pipeline), emitting its own "extract" span tree. Zero-value item
+// params mean the paper defaults (BackendParams semantics); for items on
+// non-"bfskel" backends the returned Result carries only the fields the
+// backend produces (Skeleton, CellOf, Boundary, Stats).
 func ExtractBatchObs(items []BatchItem, sc ObsScope) ([]*Result, error) {
-	jobs := make([]core.BatchJob, len(items))
+	jobs := make([]skeleton.BatchJob, len(items))
 	for i, it := range items {
-		jobs[i] = core.BatchJob{G: it.Network.Graph, P: it.Params}
+		jobs[i] = skeleton.BatchJob{
+			G:       it.Network.Graph,
+			Backend: it.Backend,
+			Params:  skeleton.Params{Core: it.Params, Tracer: sc.Tracer, Metrics: sc.Metrics},
+		}
 	}
-	return core.ExtractBatchObs(jobs, sc.Tracer, sc.Metrics)
+	sres, err := skeleton.ExtractBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(sres))
+	for i, r := range sres {
+		if r.Core != nil {
+			out[i] = r.Core
+			continue
+		}
+		out[i] = &core.Result{
+			Params:   jobs[i].Params.EffectiveCore(),
+			Skeleton: r.Skeleton,
+			CellOf:   r.CellOf,
+			Boundary: r.Boundary,
+			Stats:    r.Stats,
+		}
+	}
+	return out, nil
 }
