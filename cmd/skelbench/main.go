@@ -14,16 +14,18 @@
 //	skelbench -note "..."     # record a free-form note in the JSON report
 //	skelbench -trace t.jsonl  # emit a structured span/event trace (see cmd/skeltrace)
 //	skelbench -metrics        # dump Prometheus-text metrics on exit
-//	skelbench -pprof :6060    # serve net/http/pprof while running
+//	skelbench -obs 127.0.0.1:0          # serve the live observability plane
+//	                                    # (/metrics /runs /trace /profile /debug/pprof)
+//	skelbench -obs :6060 -obs-wait      # keep serving after the run, until interrupted
+//	skelbench -scorecard card.json -compare BENCH_pr7.json  # delta vs a checked-in baseline
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -64,12 +66,18 @@ func run() error {
 		note      = flag.String("note", "", "free-form note recorded in the -json report")
 		tracePath = flag.String("trace", "", "write a structured span/event trace as JSONL (see cmd/skeltrace)")
 		metricsOn = flag.Bool("metrics", false, "dump Prometheus-text metrics on exit")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		obsAddr   = flag.String("obs", "", "serve the live observability plane on this address (e.g. 127.0.0.1:0): /metrics, /runs, /trace, /profile, /healthz, /debug/pprof")
+		obsWait   = flag.Bool("obs-wait", false, "with -obs: keep serving after the run completes, until interrupted")
+		pprofAddr = flag.String("pprof", "", "deprecated alias for -obs (the obs server includes /debug/pprof)")
 		engine    = flag.String("engine", "", "force the simnet round engine for the protocol phases: serial or parallel (empty = auto)")
 		scorePath = flag.String("scorecard", "", "run the cross-backend scorecard instead of the figures and write it as JSON to this path")
 		backends  = flag.String("backends", "bfskel,map,case,localsep", "comma-separated skeleton backends for -scorecard")
 		shapesF   = flag.String("shapes", "window,twoholes,spiral", "comma-separated shapes for -scorecard")
 		nOverride = flag.Int("n", 0, "override the node count of every -scorecard scenario (0 = per-shape paper defaults)")
+		comparePt = flag.String("compare", "", "compare against a checked-in baseline (BENCH_prN.json, scorecard or figure report) and print a delta report")
+		tolerance = flag.Float64("tolerance", 0.30, "fractional regression tolerance for -compare (0.30 = flag >30% growth)")
+		cmpOut    = flag.String("compare-out", "", "also write the -compare delta report as JSON to this path")
+		cmpStrict = flag.Bool("compare-strict", false, "exit non-zero when -compare finds regressions")
 	)
 	flag.Parse()
 
@@ -85,14 +93,12 @@ func run() error {
 	}
 
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "skelbench: pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Fprintln(os.Stderr, "skelbench: -pprof is deprecated; use -obs (same address, pprof included)")
+		if *obsAddr == "" {
+			*obsAddr = *pprofAddr
+		}
 	}
-	var ob bfskel.ObsScope
+
 	var traceSink *bfskel.JSONLSink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -101,14 +107,39 @@ func run() error {
 		}
 		defer f.Close()
 		traceSink = bfskel.NewJSONLSink(f)
-		ob.Tracer = bfskel.NewTracer(traceSink)
 	}
-	if *metricsOn || *jsonPath != "" {
-		ob.Metrics = bfskel.NewMetricsRegistry()
+	var ob bfskel.ObsScope
+	if *obsAddr != "" {
+		// The live plane needs the full wiring: recorder + stream + metrics,
+		// with the optional file sink riding along.
+		ob = bfskel.NewLiveObsScope(0, traceSink)
+		srv, err := ob.Serve(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving on http://%s/ (metrics, runs, trace, profile, pprof)\n", srv.Addr())
+		if *obsWait {
+			defer waitInterrupted(ob)
+		}
+	} else {
+		if traceSink != nil {
+			ob.Tracer = bfskel.NewTracer(traceSink)
+		}
+		if *metricsOn || *jsonPath != "" {
+			ob.Metrics = bfskel.NewMetricsRegistry()
+		}
+	}
+
+	compare := func(current []bfskel.BenchCell) error {
+		if *comparePt == "" {
+			return nil
+		}
+		return runCompare(*comparePt, current, *tolerance, *cmpOut, *cmpStrict)
 	}
 
 	if *scorePath != "" {
-		return runScorecard(*scorePath, *backends, *shapesF, *nOverride, *seed, ob, *metricsOn)
+		return runScorecard(*scorePath, *backends, *shapesF, *nOverride, *seed, ob, *metricsOn, compare)
 	}
 
 	figures := bfskel.FigureNames()
@@ -126,6 +157,13 @@ func run() error {
 			fmt.Println(" ", r)
 		}
 		rep.Figures = append(rep.Figures, figureDump{Figure: f, Rows: rows})
+	}
+	var cells []bfskel.BenchCell
+	for _, f := range rep.Figures {
+		cells = append(cells, bfskel.BenchCellsFromRows(f.Figure, f.Rows)...)
+	}
+	if err := compare(cells); err != nil {
+		return err
 	}
 	if ob.Metrics != nil {
 		snap := ob.Metrics.Snapshot()
@@ -158,7 +196,7 @@ func run() error {
 // runScorecard drives the cross-backend comparison: every named backend
 // over every named shape through the facade's quality harness, printed as
 // an aligned table and written as machine-readable JSON.
-func runScorecard(path, backendList, shapeList string, nOverride int, seed int64, ob bfskel.ObsScope, metricsOn bool) error {
+func runScorecard(path, backendList, shapeList string, nOverride int, seed int64, ob bfskel.ObsScope, metricsOn bool, compare func([]bfskel.BenchCell) error) error {
 	defaults := map[string]struct {
 		n   int
 		deg float64
@@ -216,8 +254,68 @@ func runScorecard(path, backendList, shapeList string, nOverride int, seed int64
 		return err
 	}
 	fmt.Println("wrote", path)
+	if err := compare(bfskel.BenchCellsFromScorecard(card)); err != nil {
+		return err
+	}
 	if metricsOn {
 		return ob.Metrics.WritePrometheus(os.Stdout)
 	}
 	return nil
+}
+
+// runCompare diffs the just-measured cells against a checked-in baseline
+// (scorecard or figure report) and prints the delta table. Regressions only
+// fail the run under -compare-strict; by default they surface in the log.
+func runCompare(path string, current []bfskel.BenchCell, tolerance float64, outPath string, strict bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-compare: %w", err)
+	}
+	baseline, format, err := bfskel.ParseBenchBaseline(data)
+	if err != nil {
+		return fmt.Errorf("-compare %s: %w", path, err)
+	}
+	d := bfskel.CompareBenchCells(baseline, current, path, tolerance)
+	fmt.Printf("baseline %s (%s format)\n%s\n", path, format, d)
+	if outPath != "" {
+		j, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(j, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outPath)
+	}
+	if strict && d.Regressions > 0 {
+		return fmt.Errorf("-compare-strict: %d regressed rows vs %s (tolerance %+.0f%%)", d.Regressions, path, tolerance*100)
+	}
+	return nil
+}
+
+// waitInterrupted keeps the process alive until SIGINT so the obs server
+// stays queryable after the sweep (-obs-wait). A side tracer emits heartbeat
+// spans into the live stream only — not the flight recorder — so /trace
+// always has traffic without polluting /runs.
+func waitInterrupted(ob bfskel.ObsScope) {
+	fmt.Fprintln(os.Stderr, "obs: run complete; serving until interrupted (-obs-wait)")
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		hb := bfskel.NewTracer(ob.Stream)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			hb.StartSpan("heartbeat", bfskel.TraceAttr{Key: "seq", Val: i}).End()
+			time.Sleep(time.Second)
+		}
+	}()
+	<-stop
+	close(done)
+	signal.Stop(stop)
+	fmt.Fprintln(os.Stderr, "obs: interrupted, shutting down")
 }

@@ -5,13 +5,12 @@
 // Usage:
 //
 //	skelextract -shape window -n 2592 -deg 6 -seed 1 -svg out/
+//	skelextract -shape twoholes -obs 127.0.0.1:0   # live /metrics /runs /trace /profile
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
@@ -49,19 +48,18 @@ func run() error {
 		netPath   = flag.String("savenet", "", "write the network (positions+links) as JSON")
 		tracePath = flag.String("trace", "", "write a structured span/event trace as JSONL")
 		metricsOn = flag.Bool("metrics", false, "dump Prometheus-text metrics on exit")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		obsAddr   = flag.String("obs", "", "serve the live observability plane on this address (e.g. 127.0.0.1:0): /metrics, /runs, /trace, /profile, /healthz, /debug/pprof")
+		pprofAddr = flag.String("pprof", "", "deprecated alias for -obs (the obs server includes /debug/pprof)")
 	)
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "skelextract: pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Fprintln(os.Stderr, "skelextract: -pprof is deprecated; use -obs (same address, pprof included)")
+		if *obsAddr == "" {
+			*obsAddr = *pprofAddr
+		}
 	}
-	var ob bfskel.ObsScope
+
 	var traceSink *bfskel.JSONLSink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -71,10 +69,23 @@ func run() error {
 		defer f.Close()
 		traceSink = bfskel.NewJSONLSink(f)
 		defer traceSink.Flush()
+	}
+	var ob bfskel.ObsScope
+	if *obsAddr != "" {
+		ob = bfskel.NewLiveObsScope(0, traceSink)
+		srv, err := ob.Serve(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving on http://%s/ (metrics, runs, trace, profile, pprof)\n", srv.Addr())
+	} else if traceSink != nil {
 		ob.Tracer = bfskel.NewTracer(traceSink)
 	}
 	if *metricsOn {
-		ob.Metrics = bfskel.NewMetricsRegistry()
+		if ob.Metrics == nil {
+			ob.Metrics = bfskel.NewMetricsRegistry()
+		}
 		defer func() { ob.Metrics.WritePrometheus(os.Stdout) }()
 	}
 

@@ -7,8 +7,14 @@
 //
 //	skeltrace trace.jsonl
 //	skeltrace -top 10 trace.jsonl
+//	skeltrace -folded trace.jsonl > stacks.folded   # flamegraph.pl / inferno input
 //	skeltrace -check -require-stages identify,voronoi,coarse,refine,boundary \
 //	    -require-phases neighborhood,centrality,election,voronoi trace.jsonl
+//
+// With -folded the command emits the trace's span-aggregation profile as
+// folded stacks (one "root;child;leaf self-microseconds" line per call
+// path), the input format of flamegraph.pl, inferno and speedscope — the
+// same output the live /profile?format=folded endpoint serves.
 //
 // With -check the command validates the trace instead of describing it: it
 // must be non-empty and fully parseable, every required stage/phase span
@@ -62,12 +68,17 @@ type trace struct {
 	events  int
 	spans   map[uint64]*span
 	order   []uint64 // span IDs in start order
+	// spanRecs retains the raw span start/end records (events are skipped:
+	// they carry the bulky per-node arrays and profiles ignore them) so
+	// -folded can rebuild the span-aggregation profile.
+	spanRecs []bfskel.TraceRecord
 }
 
 func run() error {
 	var (
 		topK      = flag.Int("top", 5, "how many hottest nodes to list")
 		check     = flag.Bool("check", false, "validate the trace instead of summarizing; exit non-zero on failure")
+		folded    = flag.Bool("folded", false, "emit the span profile as folded stacks (flamegraph input) instead of summarizing")
 		reqStages = flag.String("require-stages", "", "comma-separated stage names that must appear as stage.<name> spans (-check)")
 		reqPhases = flag.String("require-phases", "", "comma-separated phase names that must appear as phase.<name> spans (-check)")
 	)
@@ -82,6 +93,9 @@ func run() error {
 	}
 	if *check {
 		return validate(tr, splitNames(*reqStages), splitNames(*reqPhases))
+	}
+	if *folded {
+		return bfskel.BuildSpanProfile(tr.spanRecs).WriteFolded(os.Stdout)
 	}
 	summarize(tr, *topK)
 	return nil
@@ -114,7 +128,9 @@ func parseFile(path string) (*trace, error) {
 		case bfskel.TraceSpanStart:
 			tr.spans[rec.ID] = &span{id: rec.ID, name: rec.Name}
 			tr.order = append(tr.order, rec.ID)
+			tr.spanRecs = append(tr.spanRecs, rec)
 		case bfskel.TraceSpanEnd:
+			tr.spanRecs = append(tr.spanRecs, rec)
 			sp := tr.spans[rec.ID]
 			if sp == nil { // end without start: tolerate, spans parse standalone
 				sp = &span{id: rec.ID, name: rec.Name}

@@ -1,0 +1,222 @@
+package bfskel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// BenchCell is one comparable cost measurement of a benchmark document: a
+// key naming what ran ("backend/scenario" for scorecards,
+// "figure/scenario" for figure reports) plus wall time and heap cost.
+// Allocs is 0 when the source format does not record allocation counts
+// (figure reports); such dimensions are skipped in comparisons.
+type BenchCell struct {
+	Key    string  `json:"key"`
+	Ms     float64 `json:"ms"`
+	Allocs uint64  `json:"allocs,omitempty"`
+	Bytes  uint64  `json:"bytes,omitempty"`
+}
+
+// BenchDeltaRow is one key's baseline-vs-current comparison. Ratios are
+// fractional changes (new/old - 1): +0.25 reads "25% more than baseline".
+type BenchDeltaRow struct {
+	Key         string  `json:"key"`
+	MsOld       float64 `json:"msOld"`
+	MsNew       float64 `json:"msNew"`
+	MsRatio     float64 `json:"msRatio"`
+	AllocsOld   uint64  `json:"allocsOld,omitempty"`
+	AllocsNew   uint64  `json:"allocsNew,omitempty"`
+	AllocsRatio float64 `json:"allocsRatio,omitempty"`
+	BytesOld    uint64  `json:"bytesOld,omitempty"`
+	BytesNew    uint64  `json:"bytesNew,omitempty"`
+	BytesRatio  float64 `json:"bytesRatio,omitempty"`
+	// Regressed lists the dimensions ("ms", "allocs", "bytes") whose
+	// increase exceeded the tolerance.
+	Regressed []string `json:"regressed,omitempty"`
+}
+
+// BenchDelta is the machine-readable regression report of a benchmark
+// comparison — skelbench -compare emits it into the CI job log.
+type BenchDelta struct {
+	Baseline  string          `json:"baseline"`
+	Tolerance float64         `json:"tolerance"`
+	Rows      []BenchDeltaRow `json:"rows"`
+	// Regressions counts rows with at least one regressed dimension.
+	Regressions int `json:"regressions"`
+	// OnlyInBaseline / OnlyInCurrent list keys without a counterpart.
+	OnlyInBaseline []string `json:"onlyInBaseline,omitempty"`
+	OnlyInCurrent  []string `json:"onlyInCurrent,omitempty"`
+}
+
+// benchMsNoiseFloor suppresses regression flags on cells whose wall time is
+// too small to measure reliably in one shot.
+const benchMsNoiseFloor = 0.5
+
+// CompareBenchCells diffs current against baseline key by key. A dimension
+// regresses when it grew by more than tolerance (fractional, e.g. 0.3 =
+// 30%); wall times under half a millisecond on both sides never flag
+// (single-shot timing noise). Rows come back sorted by key.
+func CompareBenchCells(baseline, current []BenchCell, baselineName string, tolerance float64) *BenchDelta {
+	d := &BenchDelta{Baseline: baselineName, Tolerance: tolerance}
+	old := make(map[string]BenchCell, len(baseline))
+	for _, c := range baseline {
+		old[c.Key] = c
+	}
+	seen := make(map[string]bool, len(current))
+	for _, c := range current {
+		seen[c.Key] = true
+		b, ok := old[c.Key]
+		if !ok {
+			d.OnlyInCurrent = append(d.OnlyInCurrent, c.Key)
+			continue
+		}
+		row := BenchDeltaRow{
+			Key:   c.Key,
+			MsOld: b.Ms, MsNew: c.Ms,
+			AllocsOld: b.Allocs, AllocsNew: c.Allocs,
+			BytesOld: b.Bytes, BytesNew: c.Bytes,
+		}
+		row.MsRatio = ratio(b.Ms, c.Ms)
+		if b.Ms > 0 && row.MsRatio > tolerance && (b.Ms >= benchMsNoiseFloor || c.Ms >= benchMsNoiseFloor) {
+			row.Regressed = append(row.Regressed, "ms")
+		}
+		if b.Allocs > 0 && c.Allocs > 0 {
+			row.AllocsRatio = ratio(float64(b.Allocs), float64(c.Allocs))
+			if row.AllocsRatio > tolerance {
+				row.Regressed = append(row.Regressed, "allocs")
+			}
+		}
+		if b.Bytes > 0 && c.Bytes > 0 {
+			row.BytesRatio = ratio(float64(b.Bytes), float64(c.Bytes))
+			if row.BytesRatio > tolerance {
+				row.Regressed = append(row.Regressed, "bytes")
+			}
+		}
+		if len(row.Regressed) > 0 {
+			d.Regressions++
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	for key := range old {
+		if !seen[key] {
+			d.OnlyInBaseline = append(d.OnlyInBaseline, key)
+		}
+	}
+	sort.Slice(d.Rows, func(i, j int) bool { return d.Rows[i].Key < d.Rows[j].Key })
+	sort.Strings(d.OnlyInBaseline)
+	sort.Strings(d.OnlyInCurrent)
+	return d
+}
+
+func ratio(old, new float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return new/old - 1
+}
+
+// String renders the delta as the aligned table skelbench prints; regressed
+// rows lead with "REGRESSION" so they grep out of a CI job log.
+func (d *BenchDelta) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark delta vs %s (tolerance %+.0f%%):\n", d.Baseline, d.Tolerance*100)
+	for _, r := range d.Rows {
+		tag := "ok        "
+		if len(r.Regressed) > 0 {
+			tag = "REGRESSION"
+		}
+		fmt.Fprintf(&b, "  %s %-28s ms %9.2f -> %9.2f (%+6.1f%%)", tag, r.Key, r.MsOld, r.MsNew, r.MsRatio*100)
+		if r.AllocsOld > 0 && r.AllocsNew > 0 {
+			fmt.Fprintf(&b, "  allocs %8d -> %8d (%+6.1f%%)", r.AllocsOld, r.AllocsNew, r.AllocsRatio*100)
+		}
+		if r.BytesOld > 0 && r.BytesNew > 0 {
+			fmt.Fprintf(&b, "  bytes %10d -> %10d (%+6.1f%%)", r.BytesOld, r.BytesNew, r.BytesRatio*100)
+		}
+		if len(r.Regressed) > 0 {
+			fmt.Fprintf(&b, "  [%s]", strings.Join(r.Regressed, ","))
+		}
+		b.WriteByte('\n')
+	}
+	for _, k := range d.OnlyInBaseline {
+		fmt.Fprintf(&b, "  missing   %-28s (in baseline only)\n", k)
+	}
+	for _, k := range d.OnlyInCurrent {
+		fmt.Fprintf(&b, "  new       %-28s (no baseline)\n", k)
+	}
+	fmt.Fprintf(&b, "  %d/%d rows regressed", d.Regressions, len(d.Rows))
+	return b.String()
+}
+
+// BenchCellsFromScorecard flattens a scorecard into comparable cells keyed
+// "backend/scenario". Failed cells (Err set) are skipped.
+func BenchCellsFromScorecard(card *Scorecard) []BenchCell {
+	cells := make([]BenchCell, 0, len(card.Scores))
+	for _, s := range card.Scores {
+		if s.Err != "" {
+			continue
+		}
+		cells = append(cells, BenchCell{
+			Key:    s.Backend + "/" + s.Scenario,
+			Ms:     s.MsPerOp,
+			Allocs: s.AllocsPerOp,
+			Bytes:  s.BytesPerOp,
+		})
+	}
+	return cells
+}
+
+// BenchCellsFromRows flattens one experiment's rows into comparable cells
+// keyed "figure/scenario": wall time is the summed per-phase duration and
+// bytes the summed per-phase allocation (rows without stats are skipped;
+// figure reports carry no allocation counts).
+func BenchCellsFromRows(figure string, rows []ExperimentRow) []BenchCell {
+	var cells []BenchCell
+	for _, r := range rows {
+		if r.Stats == nil {
+			continue
+		}
+		var ms float64
+		var bytes uint64
+		for _, ph := range r.Stats.Phases {
+			ms += float64(ph.Duration) / float64(time.Millisecond)
+			bytes += ph.BytesAlloc
+		}
+		cells = append(cells, BenchCell{Key: figure + "/" + r.Scenario, Ms: ms, Bytes: bytes})
+	}
+	return cells
+}
+
+// ParseBenchBaseline reads a checked-in benchmark baseline — either a
+// scorecard (BENCH_pr6.json and later) or a skelbench -json figure report
+// (BENCH_pr4/5.json) — into comparable cells, reporting which format it
+// found ("scorecard" or "report").
+func ParseBenchBaseline(data []byte) ([]BenchCell, string, error) {
+	var probe struct {
+		Scores  []json.RawMessage `json:"scores"`
+		Figures []struct {
+			Figure string          `json:"figure"`
+			Rows   []ExperimentRow `json:"rows"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, "", fmt.Errorf("bench baseline: %w", err)
+	}
+	if len(probe.Scores) > 0 {
+		var card Scorecard
+		if err := json.Unmarshal(data, &card); err != nil {
+			return nil, "", fmt.Errorf("bench baseline scorecard: %w", err)
+		}
+		return BenchCellsFromScorecard(&card), "scorecard", nil
+	}
+	if len(probe.Figures) > 0 {
+		var cells []BenchCell
+		for _, f := range probe.Figures {
+			cells = append(cells, BenchCellsFromRows(f.Figure, f.Rows)...)
+		}
+		return cells, "report", nil
+	}
+	return nil, "", fmt.Errorf("bench baseline: neither a scorecard (scores) nor a figure report (figures)")
+}

@@ -1,0 +1,98 @@
+package bfskel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareBenchCells(t *testing.T) {
+	base := []BenchCell{
+		{Key: "bfskel/window", Ms: 10, Allocs: 1000, Bytes: 100000},
+		{Key: "map/window", Ms: 20, Allocs: 2000, Bytes: 200000},
+		{Key: "case/window", Ms: 30, Allocs: 3000, Bytes: 300000},
+		{Key: "gone/window", Ms: 5},
+	}
+	cur := []BenchCell{
+		{Key: "bfskel/window", Ms: 11, Allocs: 1050, Bytes: 101000}, // within 30%
+		{Key: "map/window", Ms: 30, Allocs: 2000, Bytes: 200000},    // ms +50% regression
+		{Key: "case/window", Ms: 30, Allocs: 4500, Bytes: 300000},   // allocs +50% regression
+		{Key: "fresh/window", Ms: 1},
+	}
+	d := CompareBenchCells(base, cur, "BENCH_test.json", 0.30)
+	if len(d.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(d.Rows))
+	}
+	if d.Regressions != 2 {
+		t.Errorf("regressions = %d, want 2", d.Regressions)
+	}
+	byKey := map[string]BenchDeltaRow{}
+	for _, r := range d.Rows {
+		byKey[r.Key] = r
+	}
+	if r := byKey["bfskel/window"]; len(r.Regressed) != 0 {
+		t.Errorf("bfskel/window flagged: %v", r.Regressed)
+	}
+	if r := byKey["map/window"]; len(r.Regressed) != 1 || r.Regressed[0] != "ms" {
+		t.Errorf("map/window regressed = %v, want [ms]", r.Regressed)
+	}
+	if r := byKey["case/window"]; len(r.Regressed) != 1 || r.Regressed[0] != "allocs" {
+		t.Errorf("case/window regressed = %v, want [allocs]", r.Regressed)
+	}
+	if len(d.OnlyInBaseline) != 1 || d.OnlyInBaseline[0] != "gone/window" {
+		t.Errorf("onlyInBaseline = %v", d.OnlyInBaseline)
+	}
+	if len(d.OnlyInCurrent) != 1 || d.OnlyInCurrent[0] != "fresh/window" {
+		t.Errorf("onlyInCurrent = %v", d.OnlyInCurrent)
+	}
+	out := d.String()
+	if !strings.Contains(out, "REGRESSION map/window") {
+		t.Errorf("report missing REGRESSION line:\n%s", out)
+	}
+	if !strings.Contains(out, "2/3 rows regressed") {
+		t.Errorf("report missing summary:\n%s", out)
+	}
+}
+
+func TestCompareBenchNoiseFloor(t *testing.T) {
+	// Sub-half-millisecond cells never flag on ms, whatever the ratio.
+	d := CompareBenchCells(
+		[]BenchCell{{Key: "k", Ms: 0.05}},
+		[]BenchCell{{Key: "k", Ms: 0.4}},
+		"b", 0.30)
+	if d.Regressions != 0 {
+		t.Errorf("noise-floor cell flagged: %+v", d.Rows)
+	}
+}
+
+func TestParseBenchBaselineFormats(t *testing.T) {
+	scorecard := `{"seed":1,"backends":["bfskel"],"scenarios":["window"],
+		"scores":[{"backend":"bfskel","scenario":"window","msPerOp":6.8,"allocsPerOp":4699,"bytesPerOp":655504},
+		          {"backend":"map","scenario":"window","err":"boom"}]}`
+	cells, format, err := ParseBenchBaseline([]byte(scorecard))
+	if err != nil || format != "scorecard" {
+		t.Fatalf("scorecard parse: %v / %s", err, format)
+	}
+	if len(cells) != 1 || cells[0].Key != "bfskel/window" || cells[0].Allocs != 4699 {
+		t.Errorf("scorecard cells = %+v", cells)
+	}
+
+	report := `{"seed":1,"figures":[{"figure":"complexity","rows":[
+		{"Scenario":"window-n648","Stats":{"Phases":[
+			{"Name":"identify","Duration":2000000,"BytesAlloc":1024},
+			{"Name":"voronoi","Duration":1000000,"BytesAlloc":512}]}},
+		{"Scenario":"nostats"}]}]}`
+	cells, format, err = ParseBenchBaseline([]byte(report))
+	if err != nil || format != "report" {
+		t.Fatalf("report parse: %v / %s", err, format)
+	}
+	if len(cells) != 1 || cells[0].Key != "complexity/window-n648" {
+		t.Fatalf("report cells = %+v", cells)
+	}
+	if cells[0].Ms != 3 || cells[0].Bytes != 1536 || cells[0].Allocs != 0 {
+		t.Errorf("report cell values = %+v", cells[0])
+	}
+
+	if _, _, err := ParseBenchBaseline([]byte(`{"neither":true}`)); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the full exposition output: one # TYPE line per
+// metric family (labeled series group under a single header), `le` labels
+// spliced into existing label sets, and %q-escaped label values.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("runs_total", "backend", "bfskel")).Add(2)
+	r.Counter(Label("runs_total", "backend", "case")).Add(1)
+	r.Counter("plain_total").Add(5)
+	r.Gauge("sites").Set(31.5)
+	r.Gauge(Label("weird", "path", `a"b\c`)).Set(1)
+	h := r.Histogram(Label("stage_seconds", "stage", "identify"), []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h2 := r.Histogram(Label("stage_seconds", "stage", "voronoi"), []float64{0.1, 1})
+	h2.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	want := `# TYPE plain_total counter
+plain_total 5
+# TYPE runs_total counter
+runs_total{backend="bfskel"} 2
+runs_total{backend="case"} 1
+# TYPE sites gauge
+sites 31.5
+# TYPE weird gauge
+weird{path="a\"b\\c"} 1
+# TYPE stage_seconds histogram
+stage_seconds_bucket{stage="identify",le="0.1"} 1
+stage_seconds_bucket{stage="identify",le="1"} 2
+stage_seconds_bucket{stage="identify",le="+Inf"} 2
+stage_seconds_sum{stage="identify"} 0.55
+stage_seconds_count{stage="identify"} 2
+stage_seconds_bucket{stage="voronoi",le="0.1"} 0
+stage_seconds_bucket{stage="voronoi",le="1"} 0
+stage_seconds_bucket{stage="voronoi",le="+Inf"} 1
+stage_seconds_sum{stage="voronoi"} 2
+stage_seconds_count{stage="voronoi"} 1
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Exactly one TYPE header per family, never one per series.
+	if n := strings.Count(buf.String(), "# TYPE stage_seconds histogram"); n != 1 {
+		t.Errorf("stage_seconds family declared %d times, want 1", n)
+	}
+	if n := strings.Count(buf.String(), "# TYPE runs_total counter"); n != 1 {
+		t.Errorf("runs_total family declared %d times, want 1", n)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w%3) * 5) // 0, 5 or 10: spans three buckets
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	wantSum := 0.0
+	for w := 0; w < workers; w++ {
+		wantSum += float64(w%3) * 5 * per
+	}
+	if s.Sum != wantSum {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+	if last := s.Buckets[len(s.Buckets)-1].Count; last != workers*per {
+		t.Errorf("cumulative top bucket = %d, want %d", last, workers*per)
+	}
+}
+
+// traceRun emits one synthetic two-stage run through the tracer.
+func traceRun(tr *Tracer, backend string, n int) {
+	attrs := []Attr{Int("nodes", n)}
+	if backend != "" {
+		attrs = append([]Attr{Str("backend", backend)}, attrs...)
+	}
+	root := tr.StartSpan("extract", attrs...)
+	s1 := root.StartSpan("stage.identify")
+	s1.Event("election", Int("round", 1))
+	s1.End()
+	root.StartSpan("stage.voronoi").End()
+	root.End(Int("sites", 4))
+}
+
+func TestRecorderRunRecords(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(8)
+	tr := NewTracer(NewRecorderSink(rec, reg))
+
+	traceRun(tr, "", 100)
+	traceRun(tr, "case", 200)
+
+	runs := rec.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	// Newest first.
+	if runs[0].ID != 2 || runs[1].ID != 1 {
+		t.Errorf("run order = %d,%d, want 2,1", runs[0].ID, runs[1].ID)
+	}
+	latest := runs[0]
+	if latest.Backend != "case" || latest.Name != "extract" {
+		t.Errorf("latest run backend=%q name=%q", latest.Backend, latest.Name)
+	}
+	if runs[1].Backend != "bfskel" {
+		t.Errorf(`extract run without backend attr = %q, want default "bfskel"`, runs[1].Backend)
+	}
+	if latest.Spans != 3 || latest.Events != 1 {
+		t.Errorf("spans=%d events=%d, want 3/1", latest.Spans, latest.Events)
+	}
+	if latest.Params["nodes"] != 200 || latest.Result["sites"] != 4 {
+		t.Errorf("params/result not captured: %v / %v", latest.Params, latest.Result)
+	}
+	if latest.Digest == runs[1].Digest {
+		t.Error("different params produced equal digests")
+	}
+	if latest.Metrics == nil {
+		t.Error("run record missing metrics snapshot")
+	}
+	if latest.Profile.Empty() {
+		t.Fatal("run record missing span profile")
+	}
+	root := latest.Profile.Roots[0]
+	if root.Name != "extract" || root.Count != 1 || len(root.Children) != 2 {
+		t.Errorf("profile root = %+v", root)
+	}
+
+	got, ok := rec.Get(1)
+	if !ok || got.ID != 1 {
+		t.Errorf("Get(1) = %+v, %v", got, ok)
+	}
+	if _, ok := rec.Get(99); ok {
+		t.Error("Get(99) found a phantom run")
+	}
+
+	// Same params -> same digest.
+	traceRun(tr, "case", 200)
+	if d := rec.Runs()[0].Digest; d != latest.Digest {
+		t.Errorf("equal params digest mismatch: %s vs %s", d, latest.Digest)
+	}
+
+	// The record must round-trip through JSON (the /runs payload).
+	data, err := json.Marshal(latest)
+	if err != nil {
+		t.Fatalf("marshal run record: %v", err)
+	}
+	var back RunRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal run record: %v", err)
+	}
+	if back.ID != latest.ID || back.Digest != latest.Digest || back.Profile.Empty() {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := NewRecorder(3)
+	tr := NewTracer(NewRecorderSink(rec, nil))
+	for i := 0; i < 5; i++ {
+		traceRun(tr, "bfskel", i)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("ring holds %d, want 3", rec.Len())
+	}
+	if rec.Evicted() != 2 {
+		t.Errorf("evicted = %d, want 2", rec.Evicted())
+	}
+	runs := rec.Runs()
+	if runs[0].ID != 5 || runs[2].ID != 3 {
+		t.Errorf("retained IDs %d..%d, want 5..3", runs[0].ID, runs[2].ID)
+	}
+	if _, ok := rec.Get(2); ok {
+		t.Error("evicted run still retrievable")
+	}
+	if got, ok := rec.Get(4); !ok || got.ID != 4 {
+		t.Errorf("Get(4) after eviction = %+v, %v", got, ok)
+	}
+}
+
+func TestRecorderConcurrentWriters(t *testing.T) {
+	rec := NewRecorder(64)
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One tracer per goroutine: Emit ordering is per-tracer, and
+			// concurrent batch drivers each hold their own spans; the
+			// recorder itself must take the concurrent Adds.
+			tr := NewTracer(NewRecorderSink(rec, nil))
+			for i := 0; i < per; i++ {
+				traceRun(tr, fmt.Sprintf("w%d", w), i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rec.Len() != 64 {
+		t.Errorf("ring holds %d, want 64", rec.Len())
+	}
+	if rec.Evicted() != workers*per-64 {
+		t.Errorf("evicted = %d, want %d", rec.Evicted(), workers*per-64)
+	}
+	runs := rec.Runs()
+	for i, r := range runs {
+		if want := uint64(workers*per - i); r.ID != want {
+			t.Fatalf("runs[%d].ID = %d, want %d (newest first, contiguous)", i, r.ID, want)
+		}
+	}
+}
+
+// TestRecorderInterleavedRuns checks that two runs whose spans interleave in
+// the record stream (concurrent extractions through one tracer) are grouped
+// by parent links, not by arrival order.
+func TestRecorderInterleavedRuns(t *testing.T) {
+	rec := NewRecorder(8)
+	sink := NewRecorderSink(rec, nil)
+	// Drive the sink directly with a hand-interleaved sequence.
+	sink.Emit(Record{Kind: KindSpanStart, ID: 1, Name: "extract", Attrs: []Attr{Int("nodes", 1)}})
+	sink.Emit(Record{Kind: KindSpanStart, ID: 2, Name: "extract", Attrs: []Attr{Int("nodes", 2)}})
+	sink.Emit(Record{Kind: KindSpanStart, ID: 3, Parent: 2, Name: "stage.identify"})
+	sink.Emit(Record{Kind: KindSpanStart, ID: 4, Parent: 1, Name: "stage.identify"})
+	sink.Emit(Record{Kind: KindEvent, Span: 3, Name: "election"})
+	sink.Emit(Record{Kind: KindSpanEnd, ID: 4, Name: "stage.identify", Dur: time.Millisecond})
+	sink.Emit(Record{Kind: KindSpanEnd, ID: 3, Name: "stage.identify", Dur: 2 * time.Millisecond})
+	sink.Emit(Record{Kind: KindSpanEnd, ID: 2, Name: "extract", Dur: 5 * time.Millisecond})
+	sink.Emit(Record{Kind: KindSpanEnd, ID: 1, Name: "extract", Dur: 4 * time.Millisecond})
+
+	runs := rec.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	// Root 2 ended first, so it is run ID 1.
+	first, second := runs[1], runs[0]
+	if first.Params["nodes"] != 2 || second.Params["nodes"] != 1 {
+		t.Errorf("runs grouped wrong: first.nodes=%v second.nodes=%v", first.Params["nodes"], second.Params["nodes"])
+	}
+	if first.Events != 1 || second.Events != 0 {
+		t.Errorf("events attributed wrong: %d/%d, want 1/0", first.Events, second.Events)
+	}
+	if first.WallNS != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("first run wall = %d", first.WallNS)
+	}
+	// Both sink maps must be drained once all runs completed.
+	if len(sink.open) != 0 || len(sink.spanRun) != 0 {
+		t.Errorf("sink leaks state: open=%d spanRun=%d", len(sink.open), len(sink.spanRun))
+	}
+}
+
+func TestProfileBuildMergeFolded(t *testing.T) {
+	ring := NewRingSink(0)
+	tr := NewTracer(ring)
+	traceRun(tr, "bfskel", 10)
+	traceRun(tr, "bfskel", 10)
+	p := BuildProfile(ring.Records())
+
+	if len(p.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(p.Roots))
+	}
+	root := p.Roots[0]
+	if root.Name != "extract" || root.Count != 2 {
+		t.Errorf("root = %s count=%d, want extract/2", root.Name, root.Count)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(root.Children))
+	}
+	// Children sorted by name.
+	if root.Children[0].Name != "stage.identify" || root.Children[1].Name != "stage.voronoi" {
+		t.Errorf("children order: %s, %s", root.Children[0].Name, root.Children[1].Name)
+	}
+	if root.Self() > root.Total {
+		t.Errorf("self %v exceeds total %v", root.Self(), root.Total)
+	}
+
+	// Merge doubles the counts.
+	merged := &Profile{}
+	merged.Merge(p)
+	merged.Merge(p)
+	if merged.Roots[0].Count != 4 {
+		t.Errorf("merged root count = %d, want 4", merged.Roots[0].Count)
+	}
+
+	var buf bytes.Buffer
+	if err := merged.WriteFolded(&buf); err != nil {
+		t.Fatalf("folded: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"extract;stage.identify ", "extract;stage.voronoi "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+	// Folded lines are "path value" with integer values.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		parts := strings.Split(line, " ")
+		if len(parts) != 2 {
+			t.Errorf("malformed folded line %q", line)
+		}
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	merged.WriteFolded(&buf2)
+	if buf2.String() != out {
+		t.Error("folded output not deterministic")
+	}
+}
+
+func TestStreamSinkFanOutAndDrops(t *testing.T) {
+	s := NewStreamSink()
+	tr := NewTracer(s)
+
+	// No subscribers: emit must be a no-op (and not panic).
+	tr.StartSpan("x").End()
+
+	a := s.Subscribe(16)
+	b := s.Subscribe(2)
+	if s.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d, want 2", s.Subscribers())
+	}
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("s", Int("i", i)).End()
+	}
+	// a (buf 16) holds all 10 records; b (buf 2) dropped 8.
+	if got := len(a.C); got != 10 {
+		t.Errorf("subscriber a buffered %d, want 10", got)
+	}
+	if got, want := b.Dropped(), int64(8); got != want {
+		t.Errorf("subscriber b dropped %d, want %d", got, want)
+	}
+	rec := <-a.C
+	if rec.Kind != KindSpanStart || rec.Name != "s" {
+		t.Errorf("first streamed record = %+v", rec)
+	}
+	if len(rec.Attrs) != 1 || rec.Attrs[0].Key != "i" {
+		t.Errorf("streamed attrs = %v", rec.Attrs)
+	}
+
+	a.Cancel()
+	a.Cancel() // idempotent
+	if s.Subscribers() != 1 {
+		t.Errorf("subscribers after cancel = %d, want 1", s.Subscribers())
+	}
+	// Channel closed after drain.
+	for range a.C {
+	}
+	b.Cancel()
+
+	// Emit after everyone left: fast path again.
+	tr.StartSpan("y").End()
+}
+
+func TestStreamSinkConcurrent(t *testing.T) {
+	s := NewStreamSink()
+	tr := NewTracer(s)
+	sub := s.Subscribe(1 << 14)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.StartSpan("w").End()
+			}
+		}()
+	}
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range sub.C {
+			n++
+		}
+		done <- n
+	}()
+	wg.Wait()
+	sub.Cancel()
+	n := <-done
+	if int64(n)+sub.Dropped() != 4*500*2 {
+		t.Errorf("received %d + dropped %d != %d emitted", n, sub.Dropped(), 4*500*2)
+	}
+}
+
+// A nil *JSONLSink must be inert in a fan-out: NewLiveObsScope-style wiring
+// passes an optional trace sink unconditionally, and a typed-nil pointer
+// survives interface nil checks.
+func TestJSONLSinkNilReceiver(t *testing.T) {
+	var s *JSONLSink
+	tr := NewTracer(MultiSink{s})
+	tr.StartSpan("x").End()
+	if err := s.Flush(); err != nil {
+		t.Errorf("nil Flush = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("nil Err = %v", err)
+	}
+}

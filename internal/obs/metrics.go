@@ -76,7 +76,7 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	if !ok {
 		bs := append([]float64(nil), buckets...)
 		sort.Float64s(bs)
-		h = &Histogram{buckets: bs, counts: make([]int64, len(bs))}
+		h = &Histogram{buckets: bs, counts: make([]atomic.Int64, len(bs))}
 		r.histograms[name] = h
 	}
 	return h
@@ -124,13 +124,14 @@ func (g *Gauge) Value() float64 {
 }
 
 // Histogram counts observations into fixed buckets (upper bounds,
-// cumulative at exposition time) plus a sum and total count.
+// cumulative at exposition time) plus a sum and total count. Observe is
+// lock-free — atomic per-bucket counters plus an atomic-bits CAS loop for
+// the sum — so instrumented parallel workers never serialize on a mutex.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets []float64 // sorted upper bounds
-	counts  []int64   // per-bucket (non-cumulative) counts
-	sum     float64
-	count   int64
+	buckets []float64      // sorted upper bounds, immutable after creation
+	counts  []atomic.Int64 // per-bucket (non-cumulative) counts
+	sumBits atomic.Uint64  // float64 bits of the observation sum
+	count   atomic.Int64
 }
 
 // Observe records one value.
@@ -138,16 +139,22 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
+	// The bucket list is short (a dozen bounds); a linear scan beats a
+	// binary search at this size and costs no branches on the common
+	// smallest-bucket case.
 	for i, ub := range h.buckets {
 		if v <= ub {
-			h.counts[i]++
+			h.counts[i].Add(1)
 			break
 		}
 	}
-	h.sum += v
-	h.count++
-	h.mu.Unlock()
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.count.Add(1)
 }
 
 // DurationBuckets are the default bucket bounds (seconds) for phase and
@@ -210,12 +217,13 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	out := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+	}
 	cum := int64(0)
 	for i, ub := range h.buckets {
-		cum += h.counts[i]
+		cum += h.counts[i].Load()
 		out.Buckets = append(out.Buckets, BucketCount{LE: ub, Count: cum})
 	}
 	return out
@@ -241,26 +249,38 @@ func joinLabels(labels, extra string) string {
 
 // WritePrometheus renders every instrument in the Prometheus text
 // exposition format (version 0.0.4), sorted by name for stable output.
+// Labeled series of the same base name form one metric family: the sort
+// groups them adjacently and exactly one # TYPE line introduces each
+// family (the exposition format forbids repeating it per series).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	snap := r.Snapshot()
 	var b strings.Builder
+	lastFamily := ""
+	family := func(base, kind string) {
+		if base != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+			lastFamily = base
+		}
+	}
 	for _, name := range sortedKeys(snap.Counters) {
 		base, labels := splitName(name)
-		fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+		family(base, "counter")
 		fmt.Fprintf(&b, "%s %d\n", promName(base, labels), snap.Counters[name])
 	}
+	lastFamily = ""
 	for _, name := range sortedKeys(snap.Gauges) {
 		base, labels := splitName(name)
-		fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
+		family(base, "gauge")
 		fmt.Fprintf(&b, "%s %g\n", promName(base, labels), snap.Gauges[name])
 	}
+	lastFamily = ""
 	for _, name := range sortedKeys(snap.Histograms) {
 		base, labels := splitName(name)
 		h := snap.Histograms[name]
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		family(base, "histogram")
 		for _, bc := range h.Buckets {
 			le := joinLabels(labels, fmt.Sprintf("le=%q", formatLE(bc.LE)))
 			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, le, bc.Count)

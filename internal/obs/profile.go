@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile is a span-aggregation tree computed from a record stream: one node
+// per distinct span call path (root span name, child span name, ...), each
+// carrying how many spans completed at that path and their summed wall time.
+// Self time — the part of a node's total not covered by its children — falls
+// out of the tree, so a profile renders directly as folded stacks for
+// flamegraph tools (WriteFolded) or as a JSON tree (/profile?format=json).
+//
+// Profiles are plain values: build one per run (the flight recorder does),
+// then Merge them to aggregate across runs. A nil *Profile is a valid empty
+// profile.
+type Profile struct {
+	// Roots holds the top-level span paths, sorted by name.
+	Roots []*ProfileNode `json:"roots,omitempty"`
+}
+
+// ProfileNode is one span call path of a Profile.
+type ProfileNode struct {
+	// Name is the span name at this path element.
+	Name string
+	// Count is how many spans completed at this path.
+	Count int64
+	// Total is the summed wall time of those spans.
+	Total time.Duration
+	// Children are the sub-span paths, sorted by name.
+	Children []*ProfileNode
+}
+
+// Self is the node's total minus the time covered by its children, clamped
+// at zero (children of still-open or clock-skewed spans can overshoot).
+func (n *ProfileNode) Self() time.Duration {
+	if n == nil {
+		return 0
+	}
+	s := n.Total
+	for _, c := range n.Children {
+		s -= c.Total
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// profileNodeJSON is the wire form of a ProfileNode; Self is materialized so
+// consumers need not recompute the tree invariant.
+type profileNodeJSON struct {
+	Name     string         `json:"name"`
+	Count    int64          `json:"count"`
+	TotalNS  int64          `json:"total_ns"`
+	SelfNS   int64          `json:"self_ns"`
+	Children []*ProfileNode `json:"children,omitempty"`
+}
+
+// MarshalJSON renders the node with its derived self time.
+func (n *ProfileNode) MarshalJSON() ([]byte, error) {
+	return json.Marshal(profileNodeJSON{
+		Name:     n.Name,
+		Count:    n.Count,
+		TotalNS:  n.Total.Nanoseconds(),
+		SelfNS:   n.Self().Nanoseconds(),
+		Children: n.Children,
+	})
+}
+
+// UnmarshalJSON restores the node from its wire form (SelfNS is derived and
+// therefore dropped).
+func (n *ProfileNode) UnmarshalJSON(data []byte) error {
+	var in profileNodeJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	n.Name, n.Count, n.Total, n.Children = in.Name, in.Count, time.Duration(in.TotalNS), in.Children
+	return nil
+}
+
+// child returns the named child, creating (and keeping the slice sorted) on
+// first use.
+func childNode(nodes []*ProfileNode, name string) ([]*ProfileNode, *ProfileNode) {
+	i := sort.Search(len(nodes), func(i int) bool { return nodes[i].Name >= name })
+	if i < len(nodes) && nodes[i].Name == name {
+		return nodes, nodes[i]
+	}
+	n := &ProfileNode{Name: name}
+	nodes = append(nodes, nil)
+	copy(nodes[i+1:], nodes[i:])
+	nodes[i] = n
+	return nodes, n
+}
+
+// Merge folds other into p path by path. Merging nil or an empty profile is
+// a no-op; p must be non-nil.
+func (p *Profile) Merge(other *Profile) {
+	if other == nil {
+		return
+	}
+	p.Roots = mergeNodes(p.Roots, other.Roots)
+}
+
+func mergeNodes(dst, src []*ProfileNode) []*ProfileNode {
+	for _, s := range src {
+		var d *ProfileNode
+		dst, d = childNode(dst, s.Name)
+		d.Count += s.Count
+		d.Total += s.Total
+		d.Children = mergeNodes(d.Children, s.Children)
+	}
+	return dst
+}
+
+// Empty reports whether the profile holds no completed spans.
+func (p *Profile) Empty() bool { return p == nil || len(p.Roots) == 0 }
+
+// WriteFolded renders the profile as folded stacks — one
+// "root;child;leaf <value>" line per path, value = self time in
+// microseconds — the input format of flamegraph.pl, inferno and speedscope.
+// Paths with zero self time and zero count are skipped. Output is sorted by
+// path, so it is deterministic given the profile.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	var b strings.Builder
+	var walk func(prefix string, nodes []*ProfileNode)
+	walk = func(prefix string, nodes []*ProfileNode) {
+		for _, n := range nodes {
+			path := n.Name
+			if prefix != "" {
+				path = prefix + ";" + n.Name
+			}
+			if self := n.Self().Microseconds(); self > 0 || len(n.Children) == 0 {
+				fmt.Fprintf(&b, "%s %d\n", path, self)
+			}
+			walk(path, n.Children)
+		}
+	}
+	walk("", p.Roots)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ProfileBuilder accumulates a Profile from a record stream — any mix of
+// interleaved spans, as long as each span's start precedes its end (the
+// order every Tracer sink observes). Events are ignored; spans that never
+// end contribute structure (their children still aggregate) but no time.
+// The zero value is not ready; use NewProfileBuilder. Not safe for
+// concurrent use — feed it from one goroutine (or a Sink, which the tracer
+// already serializes).
+type ProfileBuilder struct {
+	profile Profile
+	open    map[uint64]*ProfileNode // span ID -> its path node
+}
+
+// NewProfileBuilder creates an empty builder.
+func NewProfileBuilder() *ProfileBuilder {
+	return &ProfileBuilder{open: make(map[uint64]*ProfileNode)}
+}
+
+// Add feeds one record into the profile.
+func (b *ProfileBuilder) Add(r Record) {
+	switch r.Kind {
+	case KindSpanStart:
+		if parent, ok := b.open[r.Parent]; ok && r.Parent != 0 {
+			var n *ProfileNode
+			parent.Children, n = childNode(parent.Children, r.Name)
+			b.open[r.ID] = n
+			return
+		}
+		var n *ProfileNode
+		b.profile.Roots, n = childNode(b.profile.Roots, r.Name)
+		b.open[r.ID] = n
+	case KindSpanEnd:
+		n, ok := b.open[r.ID]
+		if !ok {
+			return
+		}
+		delete(b.open, r.ID)
+		n.Count++
+		n.Total += r.Dur
+	}
+}
+
+// Profile returns the accumulated profile. The builder may keep being fed;
+// the returned profile shares its nodes, so snapshot (or stop adding)
+// before handing it out across goroutines.
+func (b *ProfileBuilder) Profile() *Profile { return &b.profile }
+
+// BuildProfile aggregates a complete record slice (e.g. a parsed trace
+// file or a ring sink's contents) into a Profile.
+func BuildProfile(recs []Record) *Profile {
+	b := NewProfileBuilder()
+	for _, r := range recs {
+		b.Add(r)
+	}
+	return b.Profile()
+}

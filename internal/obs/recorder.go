@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunRecord is one completed top-level traced operation — an "extract" run
+// of any skeleton backend, a "protocol" run of the four distributed phases —
+// as retained by the flight Recorder. It is self-contained and
+// JSON-marshalable: the root span's start attributes become Params, its end
+// attributes become Result, the run's span tree collapses into a per-run
+// span Profile, and (when the recorder sink holds a registry) Metrics is
+// the registry snapshot taken at completion.
+type RunRecord struct {
+	// ID is the recorder-assigned sequence number (1-based, monotonic).
+	ID uint64 `json:"id"`
+	// Name is the root span name ("extract", "protocol", ...).
+	Name string `json:"name"`
+	// Backend names the skeleton backend, when the root span declares one
+	// ("extract" roots without the attribute are the core engine, i.e.
+	// "bfskel").
+	Backend string `json:"backend,omitempty"`
+	// Digest fingerprints the run's parameters: an FNV-1a hash over the
+	// root span name and its sorted start attributes. Two runs with equal
+	// digests asked for the same computation.
+	Digest string `json:"digest"`
+	// Start is the root span's wall-clock start time.
+	Start time.Time `json:"start"`
+	// WallNS is the root span's duration in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Params holds the root span's start attributes.
+	Params map[string]any `json:"params,omitempty"`
+	// Result holds the root span's end attributes.
+	Result map[string]any `json:"result,omitempty"`
+	// Error is the root span's "error" end attribute, when the run failed.
+	Error string `json:"error,omitempty"`
+	// Spans and Events count the records observed inside the run.
+	Spans  int `json:"spans"`
+	Events int `json:"events"`
+	// Profile is the run's span-aggregation tree (per-span-name count,
+	// total and derived self time).
+	Profile *Profile `json:"profile,omitempty"`
+	// Metrics is the registry snapshot at run completion, when the
+	// recorder sink was built over a registry.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// Summary returns a copy of the record without its heavyweight payloads
+// (Profile, Metrics, Result) — the shape run listings serve.
+func (r RunRecord) Summary() RunRecord {
+	r.Profile, r.Metrics, r.Result = nil, nil, nil
+	return r
+}
+
+// Recorder is the flight recorder: a bounded, concurrency-safe ring of the
+// most recent completed RunRecords. It answers "what did this process just
+// do" while the process is still running — the substrate behind the /runs
+// and /profile endpoints. A nil *Recorder is a valid disabled recorder.
+type Recorder struct {
+	mu      sync.Mutex
+	cap     int
+	runs    []RunRecord // oldest first
+	nextID  uint64
+	evicted uint64
+}
+
+// DefaultRecorderCapacity bounds a Recorder built with capacity <= 0.
+const DefaultRecorderCapacity = 256
+
+// NewRecorder creates a flight recorder retaining up to capacity completed
+// runs (<= 0 means DefaultRecorderCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Add retains the record, assigning and returning its run ID. The oldest
+// record is evicted when the ring is full. Safe for concurrent use.
+func (r *Recorder) Add(rec RunRecord) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	rec.ID = r.nextID
+	if len(r.runs) == r.cap {
+		copy(r.runs, r.runs[1:])
+		r.runs[len(r.runs)-1] = rec
+		r.evicted++
+		return rec.ID
+	}
+	r.runs = append(r.runs, rec)
+	return rec.ID
+}
+
+// Runs returns the retained records, newest first. The slice is a copy;
+// records share their (immutable once recorded) payload pointers.
+func (r *Recorder) Runs() []RunRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RunRecord, len(r.runs))
+	for i, rec := range r.runs {
+		out[len(out)-1-i] = rec
+	}
+	return out
+}
+
+// Get returns the record with the given run ID, if still retained.
+func (r *Recorder) Get(id uint64) (RunRecord, bool) {
+	if r == nil {
+		return RunRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// IDs are sequential and the ring is contiguous, so the offset is direct.
+	if len(r.runs) == 0 {
+		return RunRecord{}, false
+	}
+	first := r.runs[0].ID
+	if id < first || id >= first+uint64(len(r.runs)) {
+		return RunRecord{}, false
+	}
+	return r.runs[id-first], true
+}
+
+// Len returns how many records are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.runs)
+}
+
+// Evicted returns how many records the capacity bound has dropped.
+func (r *Recorder) Evicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
+// Profile merges the span profiles of every retained run into one
+// aggregated tree — the process-lifetime flamegraph view (bounded by the
+// ring, so it describes the recent past, not all of history).
+func (r *Recorder) Profile() *Profile {
+	merged := &Profile{}
+	for _, run := range r.Runs() {
+		merged.Merge(run.Profile)
+	}
+	return merged
+}
+
+// openRun accumulates one in-flight root span inside a RecorderSink.
+type openRun struct {
+	root    Record
+	pb      *ProfileBuilder
+	members []uint64 // every span ID mapped into this run
+	spans   int
+	events  int
+}
+
+// RecorderSink feeds a Recorder from a tracer's record stream: it follows
+// the span parent links to group records into runs (one per root span) and,
+// when a root span ends, finalizes a RunRecord — params digest, span
+// profile, optional metrics snapshot — into the recorder. Interleaved runs
+// (batch drivers) are grouped correctly; records outside any run are
+// ignored. Emit relies on the tracer's per-emit lock for ordering, so a
+// RecorderSink must not be shared between tracers.
+type RecorderSink struct {
+	rec     *Recorder
+	metrics *Registry
+	open    map[uint64]*openRun // root span ID -> building run
+	spanRun map[uint64]uint64   // span ID -> root span ID
+}
+
+// NewRecorderSink builds a sink recording completed runs into rec. When
+// metrics is non-nil, every finalized record carries a registry snapshot.
+func NewRecorderSink(rec *Recorder, metrics *Registry) *RecorderSink {
+	return &RecorderSink{
+		rec:     rec,
+		metrics: metrics,
+		open:    make(map[uint64]*openRun),
+		spanRun: make(map[uint64]uint64),
+	}
+}
+
+// Emit implements Sink.
+func (s *RecorderSink) Emit(r Record) {
+	switch r.Kind {
+	case KindSpanStart:
+		if r.Parent == 0 {
+			if len(r.Attrs) > 0 {
+				r.Attrs = append([]Attr(nil), r.Attrs...)
+			}
+			run := &openRun{root: r, pb: NewProfileBuilder(), spans: 1}
+			run.pb.Add(r)
+			run.members = append(run.members, r.ID)
+			s.open[r.ID] = run
+			s.spanRun[r.ID] = r.ID
+			return
+		}
+		rootID, ok := s.spanRun[r.Parent]
+		if !ok {
+			return
+		}
+		run := s.open[rootID]
+		s.spanRun[r.ID] = rootID
+		run.members = append(run.members, r.ID)
+		run.spans++
+		run.pb.Add(r)
+	case KindSpanEnd:
+		rootID, ok := s.spanRun[r.ID]
+		if !ok {
+			return
+		}
+		run := s.open[rootID]
+		run.pb.Add(r)
+		if r.ID != rootID {
+			return
+		}
+		s.finalize(run, r)
+		for _, id := range run.members {
+			delete(s.spanRun, id)
+		}
+		delete(s.open, rootID)
+	case KindEvent:
+		if rootID, ok := s.spanRun[r.Span]; ok {
+			s.open[rootID].events++
+		}
+	}
+}
+
+// finalize turns a completed root span into a RunRecord.
+func (s *RecorderSink) finalize(run *openRun, end Record) {
+	rec := RunRecord{
+		Name:    run.root.Name,
+		Start:   run.root.Time,
+		WallNS:  end.Dur.Nanoseconds(),
+		Params:  attrsToMap(run.root.Attrs),
+		Result:  attrsToMap(end.Attrs),
+		Spans:   run.spans,
+		Events:  run.events,
+		Profile: run.pb.Profile(),
+	}
+	rec.Digest = paramsDigest(run.root.Name, run.root.Attrs)
+	if b, ok := rec.Params["backend"].(string); ok {
+		rec.Backend = b
+	} else if run.root.Name == "extract" {
+		rec.Backend = "bfskel"
+	}
+	if e, ok := rec.Result["error"].(string); ok {
+		rec.Error = e
+	}
+	if s.metrics != nil {
+		snap := s.metrics.Snapshot()
+		rec.Metrics = &snap
+	}
+	s.rec.Add(rec)
+}
+
+// attrsToMap copies attributes into a JSON-friendly map.
+func attrsToMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// paramsDigest fingerprints a run's identity: root span name plus its
+// sorted start attributes, FNV-1a hashed and hex-rendered.
+func paramsDigest(name string, attrs []Attr) string {
+	keys := make([]string, 0, len(attrs))
+	byKey := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		keys = append(keys, a.Key)
+		byKey[a.Key] = a.Val
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s", name)
+	for _, k := range keys {
+		fmt.Fprintf(h, "|%s=%v", k, byKey[k])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// StreamSink fans a tracer's record stream out to live subscribers — the
+// substrate behind the /trace endpoint. Emit never blocks: each subscriber
+// has a bounded buffer and records that do not fit are dropped (and
+// counted), so a slow or stalled consumer cannot back-pressure the traced
+// hot path. With no subscribers, Emit is two atomic loads and returns
+// without copying anything.
+type StreamSink struct {
+	subs atomic.Int64 // live subscriber count, checked before taking mu
+	mu   sync.Mutex
+	byID map[uint64]*Subscription
+	next uint64
+}
+
+// NewStreamSink creates a fan-out sink with no subscribers.
+func NewStreamSink() *StreamSink {
+	return &StreamSink{byID: make(map[uint64]*Subscription)}
+}
+
+// Emit implements Sink.
+func (s *StreamSink) Emit(r Record) {
+	if s.subs.Load() == 0 {
+		return
+	}
+	// One shared copy of the attrs for all subscribers; the emitting caller
+	// owns the original slice and subscribers must treat records as
+	// read-only.
+	if len(r.Attrs) > 0 {
+		r.Attrs = append([]Attr(nil), r.Attrs...)
+	}
+	s.mu.Lock()
+	for _, sub := range s.byID {
+		select {
+		case sub.ch <- r:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Subscribe registers a new live consumer with the given channel buffer
+// (<= 0 means 1024 records). Cancel the subscription when done; records
+// emitted while the buffer is full are dropped for that subscriber only.
+func (s *StreamSink) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 1024
+	}
+	sub := &Subscription{s: s, ch: make(chan Record, buf)}
+	sub.C = sub.ch
+	s.mu.Lock()
+	s.next++
+	sub.id = s.next
+	s.byID[sub.id] = sub
+	s.mu.Unlock()
+	s.subs.Add(1)
+	return sub
+}
+
+// Subscribers returns the number of live subscriptions.
+func (s *StreamSink) Subscribers() int { return int(s.subs.Load()) }
+
+// Subscription is one live tap on a StreamSink.
+type Subscription struct {
+	// C delivers the records. It is closed by Cancel, after which no more
+	// records arrive.
+	C  <-chan Record
+	s  *StreamSink
+	id uint64
+
+	ch      chan Record
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// Cancel removes the subscription and closes C. Safe to call more than
+// once.
+func (sub *Subscription) Cancel() {
+	sub.once.Do(func() {
+		sub.s.mu.Lock()
+		delete(sub.s.byID, sub.id)
+		sub.s.mu.Unlock()
+		sub.s.subs.Add(-1)
+		close(sub.ch)
+	})
+}
+
+// Dropped returns how many records this subscriber missed because its
+// buffer was full.
+func (sub *Subscription) Dropped() int64 { return sub.dropped.Load() }

@@ -269,11 +269,27 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return s
 }
 
-// Emit implements Sink.
+// Emit implements Sink. A nil *JSONLSink is inert, so an optional trace
+// file can be wired unconditionally into a fan-out.
 func (s *JSONLSink) Emit(rec Record) {
-	if s.err != nil {
+	if s == nil || s.err != nil {
 		return
 	}
+	data, err := EncodeJSONL(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// EncodeJSONL renders one record in the JSONL wire encoding (without the
+// trailing newline) — the inverse of ParseJSONL. The live /trace endpoint
+// and the JSONLSink share this encoding, so a streamed trace and a -trace
+// file are interchangeable inputs to cmd/skeltrace.
+func EncodeJSONL(rec Record) ([]byte, error) {
 	out := jsonRecord{
 		Kind:   rec.Kind.String(),
 		ID:     rec.ID,
@@ -289,18 +305,14 @@ func (s *JSONLSink) Emit(rec Record) {
 			out.Attrs[a.Key] = a.Val
 		}
 	}
-	data, err := json.Marshal(out)
-	if err != nil {
-		s.err = err
-		return
-	}
-	if _, err := s.w.Write(append(data, '\n')); err != nil {
-		s.err = err
-	}
+	return json.Marshal(out)
 }
 
 // Flush drains the write buffer.
 func (s *JSONLSink) Flush() error {
+	if s == nil {
+		return nil
+	}
 	if s.err != nil {
 		return s.err
 	}
@@ -309,10 +321,18 @@ func (s *JSONLSink) Flush() error {
 }
 
 // Err returns the first write or encoding error, if any.
-func (s *JSONLSink) Err() error { return s.err }
+func (s *JSONLSink) Err() error {
+	if s == nil {
+		return nil
+	}
+	return s.err
+}
 
 // Close flushes and closes the underlying writer (when closable).
 func (s *JSONLSink) Close() error {
+	if s == nil {
+		return nil
+	}
 	flushErr := s.Flush()
 	if s.c != nil {
 		if err := s.c.Close(); flushErr == nil {

@@ -1,0 +1,245 @@
+// Package obshttp serves the live observability plane over stdlib net/http:
+// Prometheus metrics, the flight recorder's recent runs, an aggregated span
+// profile (JSON or folded stacks for flamegraphs), a live trace stream
+// (JSONL or SSE) tapped off a fan-out sink, a health probe and the standard
+// net/http/pprof handlers — one process, one address, everything ROADMAP's
+// skeleton-as-a-service needs mounted on day one.
+//
+//	GET /              endpoint index (text)
+//	GET /healthz       liveness probe
+//	GET /metrics       Prometheus text exposition
+//	GET /runs          flight-recorder run summaries (JSON, newest first)
+//	GET /runs/{id}     one full run record: params, result, profile, metrics
+//	GET /profile       span profile merged over recorded runs
+//	                   (?format=json | folded; folded feeds flamegraph tools)
+//	GET /trace         live trace stream (?format=jsonl | sse), until the
+//	                   client disconnects or ?limit=N records arrived
+//	/debug/pprof/      runtime profiling
+//
+// Every handler tolerates missing backing state: a nil registry, recorder
+// or stream serves an empty (not erroneous) response, so partial wiring
+// stays operable.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"bfskel/internal/obs"
+)
+
+// Options wires the plane's backing state. Any field may be nil.
+type Options struct {
+	// Metrics backs GET /metrics.
+	Metrics *obs.Registry
+	// Recorder backs GET /runs and GET /profile.
+	Recorder *obs.Recorder
+	// Stream backs GET /trace.
+	Stream *obs.StreamSink
+}
+
+// Handler builds the observability mux over the given state.
+func Handler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", handleIndex)
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /metrics", o.handleMetrics)
+	mux.HandleFunc("GET /runs", o.handleRuns)
+	mux.HandleFunc("GET /runs/{id}", o.handleRun)
+	mux.HandleFunc("GET /profile", o.handleProfile)
+	mux.HandleFunc("GET /trace", o.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `bfskel live observability plane
+  /healthz           liveness probe
+  /metrics           Prometheus text exposition
+  /runs              recent runs (flight recorder, newest first)
+  /runs/{id}         one run: params, result, span profile, metrics snapshot
+  /profile           span profile over recorded runs (?format=json|folded)
+  /trace             live trace stream (?format=jsonl|sse, ?limit=N)
+  /debug/pprof/      runtime profiling
+`)
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (o Options) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	o.Metrics.WritePrometheus(w)
+}
+
+// runsPayload is the GET /runs document.
+type runsPayload struct {
+	// Runs holds summaries (no profile/metrics/result payloads), newest
+	// first; fetch /runs/{id} for the full record.
+	Runs []obs.RunRecord `json:"runs"`
+	// Retained and Evicted describe the ring: how many full records are
+	// held and how many older ones the capacity bound dropped.
+	Retained int    `json:"retained"`
+	Evicted  uint64 `json:"evicted"`
+}
+
+func (o Options) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	full := o.Recorder.Runs()
+	payload := runsPayload{
+		Runs:     make([]obs.RunRecord, len(full)),
+		Retained: len(full),
+		Evicted:  o.Recorder.Evicted(),
+	}
+	for i, r := range full {
+		payload.Runs[i] = r.Summary()
+	}
+	writeJSON(w, payload)
+}
+
+func (o Options) handleRun(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad run id", http.StatusBadRequest)
+		return
+	}
+	rec, ok := o.Recorder.Get(id)
+	if !ok {
+		http.Error(w, "run not found (evicted or never recorded)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (o Options) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p := o.Recorder.Profile()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, p)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		p.WriteFolded(w)
+	default:
+		http.Error(w, fmt.Sprintf("unknown profile format %q (want json or folded)", format), http.StatusBadRequest)
+	}
+}
+
+// handleTrace streams live records until the client goes away, the stream
+// is closed, or an optional ?limit=N record budget is exhausted. Formats:
+// jsonl (default; the same encoding -trace files use) and sse
+// (text/event-stream, one record per data: line).
+func (o Options) handleTrace(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		if r.Header.Get("Accept") == "text/event-stream" {
+			format = "sse"
+		} else {
+			format = "jsonl"
+		}
+	}
+	if format != "jsonl" && format != "sse" {
+		http.Error(w, fmt.Sprintf("unknown trace format %q (want jsonl or sse)", format), http.StatusBadRequest)
+		return
+	}
+	if o.Stream == nil {
+		http.Error(w, "no live trace stream attached", http.StatusServiceUnavailable)
+		return
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+
+	if format == "sse" {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	sub := o.Stream.Subscribe(4096)
+	defer sub.Cancel()
+	ctx := r.Context()
+	sent := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case rec, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			data, err := obs.EncodeJSONL(rec)
+			if err != nil {
+				continue
+			}
+			if format == "sse" {
+				fmt.Fprintf(w, "data: %s\n\n", data)
+			} else {
+				w.Write(append(data, '\n'))
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+			if limit > 0 && sent >= limit {
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port) and serves the plane in a
+// background goroutine until Close.
+func Serve(addr string, o Options) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(o), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(l)
+	return &Server{l: l, srv: srv}, nil
+}
+
+// Addr returns the bound address (with the real port after ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server, severing live trace streams.
+func (s *Server) Close() error { return s.srv.Close() }

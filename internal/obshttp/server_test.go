@@ -1,0 +1,305 @@
+package obshttp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bfskel/internal/obs"
+)
+
+// plane builds a fully wired observability plane fed by one tracer.
+func plane() (Options, *obs.Tracer) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(8)
+	stream := obs.NewStreamSink()
+	tr := obs.NewTracer(obs.MultiSink{obs.NewRecorderSink(rec, reg), stream})
+	return Options{Metrics: reg, Recorder: rec, Stream: stream}, tr
+}
+
+// emitRun produces one two-stage run with a metric.
+func emitRun(o Options, tr *obs.Tracer, backend string) {
+	o.Metrics.Counter(obs.Label("runs_total", "backend", backend)).Inc()
+	root := tr.StartSpan("extract", obs.Str("backend", backend), obs.Int("nodes", 42))
+	root.StartSpan("stage.identify").End()
+	root.StartSpan("stage.voronoi").End()
+	root.End(obs.Int("sites", 3))
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpointsRoundTrip(t *testing.T) {
+	o, tr := plane()
+	emitRun(o, tr, "bfskel")
+	emitRun(o, tr, "case")
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "# TYPE runs_total counter") ||
+		!strings.Contains(body, `runs_total{backend="case"} 1`) {
+		t.Errorf("/metrics payload:\n%s", body)
+	}
+	if strings.Count(body, "# TYPE runs_total counter") != 1 {
+		t.Errorf("duplicate TYPE lines in /metrics:\n%s", body)
+	}
+
+	// /runs: summaries, newest first, no heavy payloads.
+	code, body = get(t, srv, "/runs")
+	if code != 200 {
+		t.Fatalf("/runs = %d", code)
+	}
+	var runs struct {
+		Runs     []obs.RunRecord `json:"runs"`
+		Retained int             `json:"retained"`
+		Evicted  uint64          `json:"evicted"`
+	}
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs JSON: %v\n%s", err, body)
+	}
+	if runs.Retained != 2 || len(runs.Runs) != 2 {
+		t.Fatalf("/runs retained=%d len=%d, want 2/2", runs.Retained, len(runs.Runs))
+	}
+	if runs.Runs[0].Backend != "case" || runs.Runs[1].Backend != "bfskel" {
+		t.Errorf("/runs order: %s, %s (want newest first)", runs.Runs[0].Backend, runs.Runs[1].Backend)
+	}
+	if runs.Runs[0].Profile != nil || runs.Runs[0].Metrics != nil {
+		t.Error("/runs summaries must not carry profile/metrics payloads")
+	}
+
+	// /runs/{id}: the full record.
+	code, body = get(t, srv, fmt.Sprintf("/runs/%d", runs.Runs[1].ID))
+	if code != 200 {
+		t.Fatalf("/runs/{id} = %d", code)
+	}
+	var full obs.RunRecord
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatalf("/runs/{id} JSON: %v", err)
+	}
+	if full.Backend != "bfskel" || full.Profile.Empty() || full.Metrics == nil {
+		t.Errorf("full record incomplete: backend=%q profileEmpty=%v metricsNil=%v",
+			full.Backend, full.Profile.Empty(), full.Metrics == nil)
+	}
+	if full.Params["nodes"] != float64(42) || full.Result["sites"] != float64(3) {
+		t.Errorf("full record params/result: %v / %v", full.Params, full.Result)
+	}
+
+	if code, _ := get(t, srv, "/runs/999"); code != http.StatusNotFound {
+		t.Errorf("/runs/999 = %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/runs/xyz"); code != http.StatusBadRequest {
+		t.Errorf("/runs/xyz = %d, want 400", code)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	o, tr := plane()
+	emitRun(o, tr, "bfskel")
+	emitRun(o, tr, "bfskel")
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/profile")
+	if code != 200 {
+		t.Fatalf("/profile = %d", code)
+	}
+	var p obs.Profile
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/profile JSON: %v\n%s", err, body)
+	}
+	if len(p.Roots) != 1 || p.Roots[0].Name != "extract" || p.Roots[0].Count != 2 {
+		t.Errorf("/profile roots = %+v", p.Roots)
+	}
+	if !strings.Contains(body, "self_ns") {
+		t.Error("/profile JSON missing derived self_ns")
+	}
+
+	code, body = get(t, srv, "/profile?format=folded")
+	if code != 200 {
+		t.Fatalf("/profile folded = %d", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+		if _, err := fmt.Sscanf(line[i+1:], "%d", new(int64)); err != nil {
+			t.Errorf("folded value not integer in %q", line)
+		}
+	}
+	if !strings.Contains(body, "extract;stage.identify") {
+		t.Errorf("folded output missing stack path:\n%s", body)
+	}
+
+	if code, _ := get(t, srv, "/profile?format=pdf"); code != http.StatusBadRequest {
+		t.Errorf("/profile?format=pdf = %d, want 400", code)
+	}
+}
+
+func TestLiveTraceStream(t *testing.T) {
+	o, tr := plane()
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/trace?limit=5")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/trace = %d", resp.StatusCode)
+	}
+
+	// Wait until the handler is subscribed, then emit while it streams.
+	deadline := time.Now().Add(5 * time.Second)
+	for o.Stream.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("trace handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	emitRun(o, tr, "bfskel")
+
+	var recs []obs.Record
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		rec, err := obs.ParseJSONL(sc.Bytes())
+		if err != nil {
+			t.Fatalf("parse streamed line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("streamed %d records, want 5 (limit)", len(recs))
+	}
+	if recs[0].Kind != obs.KindSpanStart || recs[0].Name != "extract" {
+		t.Errorf("first streamed record = %+v", recs[0])
+	}
+	// The stream closed the subscription once the handler returned.
+	deadline = time.Now().Add(5 * time.Second)
+	for o.Stream.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("trace subscription leaked after handler returned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLiveTraceSSE(t *testing.T) {
+	o, tr := plane()
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/trace?format=sse&limit=2")
+	if err != nil {
+		t.Fatalf("GET /trace sse: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("sse content-type = %q", ct)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for o.Stream.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("trace handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.StartSpan("x").End()
+
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read sse: %v", err)
+	}
+	events := strings.Count(string(body), "data: ")
+	if events != 2 {
+		t.Errorf("sse delivered %d events, want 2:\n%s", events, body)
+	}
+}
+
+func TestNilStateIsServable(t *testing.T) {
+	srv := httptest.NewServer(Handler(Options{}))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/metrics"); code != 200 || body != "" {
+		t.Errorf("nil /metrics = %d %q", code, body)
+	}
+	code, body := get(t, srv, "/runs")
+	if code != 200 {
+		t.Fatalf("nil /runs = %d", code)
+	}
+	var runs runsPayload
+	if err := json.Unmarshal([]byte(body), &runs); err != nil || runs.Retained != 0 {
+		t.Errorf("nil /runs payload: %v %s", err, body)
+	}
+	if code, _ := get(t, srv, "/runs/1"); code != http.StatusNotFound {
+		t.Errorf("nil /runs/1 = %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/profile"); code != 200 {
+		t.Errorf("nil /profile = %d", code)
+	}
+	if code, _ := get(t, srv, "/trace"); code != http.StatusServiceUnavailable {
+		t.Errorf("nil /trace = %d, want 503", code)
+	}
+	if code, _ := get(t, srv, "/healthz"); code != 200 {
+		t.Errorf("nil /healthz = %d", code)
+	}
+}
+
+func TestServeRealListener(t *testing.T) {
+	o, tr := plane()
+	emitRun(o, tr, "bfskel")
+	s, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer s.Close()
+	if !strings.Contains(s.Addr(), "127.0.0.1:") {
+		t.Errorf("addr = %q", s.Addr())
+	}
+	resp, err := http.Get(s.URL() + "/runs")
+	if err != nil {
+		t.Fatalf("GET runs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/runs over real listener = %d", resp.StatusCode)
+	}
+	// pprof is mounted.
+	resp2, err := http.Get(s.URL() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", resp2.StatusCode)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"bfskel/internal/core"
 	"bfskel/internal/obs"
+	"bfskel/internal/obshttp"
 	"bfskel/internal/protocol"
 	"bfskel/internal/skeleton"
 )
@@ -34,6 +35,28 @@ type (
 	MetricsRegistry = obs.Registry
 	// MetricsSnapshot is a point-in-time JSON-marshalable registry dump.
 	MetricsSnapshot = obs.Snapshot
+	// FlightRecorder is a bounded ring of completed run records — the
+	// recent-past introspection behind the /runs and /profile endpoints.
+	FlightRecorder = obs.Recorder
+	// RunRecord is one completed run retained by the flight recorder: run
+	// ID, backend, params digest, span profile, metrics snapshot, wall
+	// time.
+	RunRecord = obs.RunRecord
+	// FlightRecorderSink feeds a FlightRecorder from a tracer's records.
+	FlightRecorderSink = obs.RecorderSink
+	// TraceStream fans live trace records out to subscribers without
+	// back-pressuring the traced hot path (the /trace substrate).
+	TraceStream = obs.StreamSink
+	// TraceSubscription is one live tap on a TraceStream.
+	TraceSubscription = obs.Subscription
+	// SpanProfile is a per-span-name count/total/self aggregation tree,
+	// exportable as folded stacks for flamegraph tools.
+	SpanProfile = obs.Profile
+	// SpanProfileNode is one span call path of a SpanProfile.
+	SpanProfileNode = obs.ProfileNode
+	// ObsServer is a running live-observability HTTP endpoint (metrics,
+	// runs, trace stream, span profile, pprof).
+	ObsServer = obshttp.Server
 	// ProtocolOptions configures an observed distributed protocol run.
 	ProtocolOptions = protocol.Options
 	// SimEngine selects the simnet round engine behind the protocol phases
@@ -70,15 +93,80 @@ func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
 // NewMetricsRegistry builds an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
+// NewFlightRecorder builds a flight recorder retaining up to capacity
+// completed runs (<= 0 means the default capacity).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewRecorder(capacity) }
+
+// NewFlightRecorderSink builds a sink that groups a tracer's records into
+// runs and records each completed run into rec; when metrics is non-nil
+// every record carries a registry snapshot.
+func NewFlightRecorderSink(rec *FlightRecorder, metrics *MetricsRegistry) *FlightRecorderSink {
+	return obs.NewRecorderSink(rec, metrics)
+}
+
+// NewTraceStream builds a live fan-out sink with no subscribers.
+func NewTraceStream() *TraceStream { return obs.NewStreamSink() }
+
+// BuildSpanProfile aggregates a record slice (a parsed trace file, a ring
+// sink's contents) into a span profile.
+func BuildSpanProfile(recs []TraceRecord) *SpanProfile { return obs.BuildProfile(recs) }
+
 // ParseTraceJSONL decodes one line previously written by a JSONLSink.
 func ParseTraceJSONL(line []byte) (TraceRecord, error) { return obs.ParseJSONL(line) }
 
-// ObsScope bundles the two observability handles threaded through the
-// library: a tracer for structured spans/events and a registry for
-// metrics. The zero value is fully inert.
+// EncodeTraceJSONL renders one record in the JSONL trace encoding (no
+// trailing newline) — the inverse of ParseTraceJSONL.
+func EncodeTraceJSONL(rec TraceRecord) ([]byte, error) { return obs.EncodeJSONL(rec) }
+
+// ObsScope bundles the observability handles threaded through the library:
+// a tracer for structured spans/events and a registry for metrics, plus —
+// when built by NewLiveObsScope — the flight recorder and live trace
+// stream the HTTP plane serves. The zero value is fully inert.
 type ObsScope struct {
 	Tracer  *Tracer
 	Metrics *MetricsRegistry
+	// Recorder retains recent completed runs for /runs and /profile; nil
+	// unless wired (NewLiveObsScope wires it as a tracer sink).
+	Recorder *FlightRecorder
+	// Stream is the live /trace fan-out; nil unless wired.
+	Stream *TraceStream
+}
+
+// NewLiveObsScope builds a fully live scope: a metrics registry, a flight
+// recorder (runCapacity completed runs, <= 0 = default), a live trace
+// stream, and a tracer fanning out to the recorder, the stream and any
+// extra sinks (e.g. a JSONL file sink). Serve exposes the scope over HTTP.
+func NewLiveObsScope(runCapacity int, extra ...TraceSink) ObsScope {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(runCapacity)
+	stream := obs.NewStreamSink()
+	sinks := obs.MultiSink{obs.NewRecorderSink(rec, reg), stream}
+	for _, s := range extra {
+		if s != nil {
+			sinks = append(sinks, s)
+		}
+	}
+	return ObsScope{
+		Tracer:   obs.NewTracer(sinks),
+		Metrics:  reg,
+		Recorder: rec,
+		Stream:   stream,
+	}
+}
+
+// Serve exposes the scope's live observability plane over HTTP on addr
+// (":0" picks a free port; query the returned server's Addr): Prometheus
+// /metrics, flight-recorder /runs and /runs/{id}, the merged span /profile
+// (JSON or folded flamegraph stacks), the live /trace stream, /healthz and
+// net/http/pprof. Endpoints whose backing handle is nil serve empty
+// responses, so a partially wired scope is fine. Close the server when
+// done.
+func (s ObsScope) Serve(addr string) (*ObsServer, error) {
+	return obshttp.Serve(addr, obshttp.Options{
+		Metrics:  s.Metrics,
+		Recorder: s.Recorder,
+		Stream:   s.Stream,
+	})
 }
 
 // Instrument attaches the scope to an extraction engine: every subsequent
