@@ -1,8 +1,10 @@
 // Command skellint runs the repository's static-analysis suite
 // (internal/lint): stdlib-only analyzers that machine-check the invariants
 // the codebase depends on — seed determinism in the pipeline packages, the
-// nil-safe observability contract, sync.Pool scratch hygiene, and
-// consistent sync/atomic usage.
+// nil-safe observability contract, sync.Pool scratch hygiene, consistent
+// sync/atomic usage, paired span lifecycles, chunk-callback write ownership,
+// lock-hold hygiene, and init-time-only registration — plus the
+// escape-analysis allocation gate for the hot-path packages.
 //
 // Usage:
 //
@@ -10,15 +12,23 @@
 //
 //	skellint ./...                     # lint the whole module
 //	skellint -json ./...               # machine-readable output (CI)
+//	skellint -sarif ./...              # SARIF 2.1.0 for PR annotations
 //	skellint -checks determinism ./internal/core
 //	skellint -list                     # describe the analyzers
+//
+//	skellint -allocgate                # diff hot-path heap escapes vs baseline
+//	skellint -allocgate -allocgate-out escape-diff.json   # also write report
+//	skellint -allocgate-write          # regenerate ALLOC_BASELINE.json
 //
 // Findings are suppressed in source with
 //
 //	//lint:allow <check> <reason>
 //
-// on the flagged line or the line above it. Exit status: 0 clean,
-// 1 findings, 2 usage or load error.
+// on the flagged line or the line above it. The allocation gate has no
+// in-source suppression: intended allocation growth is sanctioned by
+// regenerating the baseline, which shows up in review as an
+// ALLOC_BASELINE.json diff. Exit status: 0 clean, 1 findings, 2 usage or
+// load error.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"path/filepath"
 
 	"bfskel/internal/lint"
+	"bfskel/internal/lint/allocgate"
 )
 
 func main() {
@@ -36,11 +47,17 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as JSON")
-		checks  = flag.String("checks", "", "comma-separated checks to run (default: all)")
-		list    = flag.Bool("list", false, "list the analyzers and exit")
-		dir     = flag.String("C", ".", "directory to resolve the module root from")
-		verbose = flag.Bool("v", false, "report type-check problems to stderr")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		sarifOut = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+		checks   = flag.String("checks", "", "comma-separated checks to run (default: all)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		dir      = flag.String("C", ".", "directory to resolve the module root from")
+		verbose  = flag.Bool("v", false, "report type-check problems to stderr")
+
+		gate      = flag.Bool("allocgate", false, "run the escape-analysis allocation gate instead of the analyzers")
+		gateWrite = flag.Bool("allocgate-write", false, "regenerate the allocation baseline and exit")
+		gateOut   = flag.String("allocgate-out", "", "also write the allocation gate report (JSON) to this file")
+		baseline  = flag.String("baseline", "", "allocation baseline path (default: ALLOC_BASELINE.json at the module root)")
 	)
 	flag.Parse()
 
@@ -51,17 +68,22 @@ func run() int {
 		return 0
 	}
 
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skellint:", err)
+		return 2
+	}
+
+	if *gate || *gateWrite {
+		return runAllocGate(root, *baseline, *gateOut, *gateWrite)
+	}
+
 	analyzers, err := lint.ByName(*checks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skellint:", err)
 		return 2
 	}
 
-	root, err := findModuleRoot(*dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "skellint:", err)
-		return 2
-	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skellint:", err)
@@ -88,19 +110,85 @@ func run() int {
 	}
 
 	res := lint.Run(pkgs, analyzers, lint.DefaultConfig())
-	if *jsonOut {
-		if err := res.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "skellint:", err)
-			return 2
-		}
-	} else if err := res.WriteHuman(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "skellint:", err)
+	var writeErr error
+	switch {
+	case *sarifOut:
+		writeErr = res.WriteSARIF(os.Stdout)
+	case *jsonOut:
+		writeErr = res.WriteJSON(os.Stdout)
+	default:
+		writeErr = res.WriteHuman(os.Stdout)
+	}
+	if writeErr != nil {
+		fmt.Fprintln(os.Stderr, "skellint:", writeErr)
 		return 2
 	}
 	if len(res.Diagnostics) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// runAllocGate collects current hot-path escapes and either rewrites the
+// baseline (write mode) or diffs against it, failing on regressions.
+func runAllocGate(root, baselinePath, reportPath string, write bool) int {
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, "ALLOC_BASELINE.json")
+	}
+	packages := allocgate.DefaultPackages
+	if !write {
+		if b, err := allocgate.Load(baselinePath); err == nil {
+			packages = b.Packages // gate exactly what the baseline covers
+		}
+	}
+	current, err := allocgate.Collect(root, packages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skellint:", err)
+		return 2
+	}
+	if write {
+		if err := current.Save(baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "skellint:", err)
+			return 2
+		}
+		fmt.Printf("skellint: wrote %s (%d functions with heap escapes across %d packages)\n",
+			baselinePath, len(current.Functions), len(current.Packages))
+		return 0
+	}
+	base, err := allocgate.Load(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skellint: %v (generate it with -allocgate-write)\n", err)
+		return 2
+	}
+	if base.GoVersion != current.GoVersion {
+		fmt.Fprintf(os.Stderr, "skellint: warning: baseline from %s, current toolchain %s — "+
+			"escape analysis may differ\n", base.GoVersion, current.GoVersion)
+	}
+	rep := allocgate.Diff(base, current)
+	if reportPath != "" {
+		if err := rep.Save(reportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "skellint:", err)
+			return 2
+		}
+	}
+	for _, imp := range rep.Improvements {
+		fmt.Printf("skellint: allocgate: improved: %s no longer produces %d escape(s)\n",
+			imp.Function, len(imp.Gone))
+	}
+	if len(rep.Regressions) == 0 {
+		fmt.Printf("skellint: allocgate ok (%d functions with sanctioned escapes across %v)\n",
+			len(current.Functions), current.Packages)
+		return 0
+	}
+	for _, r := range rep.Regressions {
+		for _, msg := range r.New {
+			fmt.Printf("skellint: allocgate: %s: new heap escape: %s\n", r.Function, msg)
+		}
+	}
+	fmt.Printf("skellint: allocgate: %d function(s) gained heap escapes; shrink them or "+
+		"regenerate the baseline with -allocgate-write and justify the diff in review\n",
+		len(rep.Regressions))
+	return 1
 }
 
 // findModuleRoot walks up from dir to the nearest directory with a go.mod.

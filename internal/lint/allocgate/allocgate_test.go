@@ -1,0 +1,171 @@
+package allocgate
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+const sampleBuildOutput = `
+# bfskel/internal/graph
+internal/graph/bfs.go:12:6: can inline tiny
+internal/graph/bfs.go:20:13: make([]int, n) escapes to heap
+internal/graph/bfs.go:21:9: moved to heap: frontier
+internal/graph/bfs.go:99:2: leaking param: g
+# bfskel/internal/obs
+internal/obs/trace.go:40:10: &Span{...} escapes to heap
+not a diagnostic line
+`
+
+func TestParseLines(t *testing.T) {
+	got := parseLines(sampleBuildOutput)
+	want := []escape{
+		{file: "internal/graph/bfs.go", line: 20, msg: "make([]int, n) escapes to heap"},
+		{file: "internal/graph/bfs.go", line: 21, msg: "moved to heap: frontier"},
+		{file: "internal/obs/trace.go", line: 40, msg: "&Span{...} escapes to heap"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseLines:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	root := t.TempDir()
+	src := `package p
+
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+type Ring struct{ buf []byte }
+
+func (r *Ring) Grow(n int) {
+	r.buf = make([]byte, n)
+}
+
+var global = make([]int, 1)
+`
+	if err := os.MkdirAll(filepath.Join(root, "internal", "p"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "internal", "p", "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	escapes := []escape{
+		{file: "internal/p/p.go", line: 4, msg: "make([]int, n) escapes to heap"},
+		{file: "internal/p/p.go", line: 10, msg: "make([]byte, n) escapes to heap"},
+		{file: "internal/p/p.go", line: 13, msg: "make([]int, 1) escapes to heap"},
+	}
+	fns, err := attribute(root, escapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"internal/p/p.go:Alloc":        {"make([]int, n) escapes to heap"},
+		"internal/p/p.go:(*Ring).Grow": {"make([]byte, n) escapes to heap"},
+		"internal/p/p.go":              {"make([]int, 1) escapes to heap"},
+	}
+	if !reflect.DeepEqual(fns, want) {
+		t.Fatalf("attribute:\n got %+v\nwant %+v", fns, want)
+	}
+}
+
+// TestDiffSeededRegression seeds a hot function with an escape the baseline
+// does not sanction and asserts the gate fails on exactly that function —
+// the acceptance scenario for the allocation budget.
+func TestDiffSeededRegression(t *testing.T) {
+	baseline := &Baseline{
+		GoVersion: "go1.24.0",
+		Packages:  []string{"internal/graph"},
+		Functions: map[string][]string{
+			"internal/graph/bfs.go:BFS":   {"make([]int, n) escapes to heap"},
+			"internal/graph/walk.go:Walk": {"moved to heap: stack"},
+		},
+	}
+	current := &Baseline{
+		GoVersion: "go1.24.0",
+		Packages:  []string{"internal/graph"},
+		Functions: map[string][]string{
+			// Seeded regression: BFS gains a second copy of the same escape
+			// plus a brand-new one.
+			"internal/graph/bfs.go:BFS": {
+				"make([]int, n) escapes to heap",
+				"make([]int, n) escapes to heap",
+				"new(levelState) escapes to heap",
+			},
+			// New function with an escape: everything it does is a gain.
+			"internal/graph/bfs.go:NewHelper": {"&helper{...} escapes to heap"},
+			// Walk improved: its escape is gone.
+		},
+	}
+	rep := Diff(baseline, current)
+	wantReg := []Regression{
+		{Function: "internal/graph/bfs.go:BFS", New: []string{
+			"make([]int, n) escapes to heap",
+			"new(levelState) escapes to heap",
+		}},
+		{Function: "internal/graph/bfs.go:NewHelper", New: []string{"&helper{...} escapes to heap"}},
+	}
+	if !reflect.DeepEqual(rep.Regressions, wantReg) {
+		t.Fatalf("regressions:\n got %+v\nwant %+v", rep.Regressions, wantReg)
+	}
+	wantImp := []Improvement{
+		{Function: "internal/graph/walk.go:Walk", Gone: []string{"moved to heap: stack"}},
+	}
+	if !reflect.DeepEqual(rep.Improvements, wantImp) {
+		t.Fatalf("improvements:\n got %+v\nwant %+v", rep.Improvements, wantImp)
+	}
+}
+
+func TestDiffCleanWhenEqual(t *testing.T) {
+	b := &Baseline{Functions: map[string][]string{
+		"f.go:F": {"x escapes to heap", "x escapes to heap"},
+	}}
+	rep := Diff(b, b)
+	if len(rep.Regressions) != 0 || len(rep.Improvements) != 0 {
+		t.Fatalf("self-diff not clean: %+v", rep)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := &Baseline{
+		GoVersion: "go1.24.0",
+		Packages:  []string{"internal/graph"},
+		Functions: map[string][]string{"f.go:F": {"x escapes to heap"}},
+	}
+	path := filepath.Join(t.TempDir(), "ALLOC_BASELINE.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, b)
+	}
+}
+
+// TestRepoGate is the integration check: the checked-in baseline must gate
+// the current tree cleanly, so CI fails only when a hot function actually
+// gains an escape.
+func TestRepoGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go build in -short mode")
+	}
+	root := filepath.Join("..", "..", "..")
+	baseline, err := Load(filepath.Join(root, "ALLOC_BASELINE.json"))
+	if err != nil {
+		t.Fatalf("loading checked-in baseline: %v", err)
+	}
+	current, err := Collect(root, baseline.Packages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(baseline, current)
+	for _, r := range rep.Regressions {
+		t.Errorf("allocation regression in %s: %v (regenerate ALLOC_BASELINE.json with "+
+			"`go run ./cmd/skellint -allocgate-write` if this growth is intended)", r.Function, r.New)
+	}
+}

@@ -26,22 +26,36 @@ type Config struct {
 //     the CLIs (so a stray report timestamp needs a sanction comment).
 //   - obsnil runs everywhere except inside internal/obs itself, which owns
 //     the handle internals.
-//   - poolpair and atomicmix run everywhere (the empty scope): the pool
+//   - poolpair and atomicmix run everywhere (the empty scope), which
+//     includes internal/obshttp, internal/skeleton and every cmd: the pool
 //     hygiene rules cover the staged extraction engine (internal/core) and
 //     the simnet parallel round engine's pooled arena state, and atomicmix
 //     guards the chunk-parallel stepping paths (internal/graph,
 //     internal/simnet) where a stray plain counter beside an atomic one
 //     would be a data race.
+//   - spanpair runs everywhere except internal/obs (which implements the
+//     Span lifecycle it checks): an unclosed span breaks the flight
+//     recorder and skeltrace round accounting wherever it happens.
+//   - chunkshare, lockhold and registration run everywhere (the empty
+//     scope): the chunk-ownership rule binds every ParallelNodes/
+//     ParallelChunks call site, the lock-hygiene rules target internal/obs
+//     stream/recorder and internal/obshttp but cost nothing where no lock
+//     is held, and registration guards skeleton.Register plus every HTTP
+//     mux, wherever they are touched.
 func DefaultConfig() *Config {
 	return &Config{Scopes: map[string]Scope{
 		"determinism": {Include: []string{
 			"internal/core", "internal/graph", "internal/protocol",
 			"internal/simnet", "internal/deploy", "internal/obs",
-			"internal/skeleton", "internal/localsep", "cmd",
+			"internal/obshttp", "internal/skeleton", "internal/localsep", "cmd",
 		}},
-		"obsnil":    {Exclude: []string{"internal/obs"}},
-		"poolpair":  {},
-		"atomicmix": {},
+		"obsnil":       {Exclude: []string{"internal/obs"}},
+		"poolpair":     {},
+		"atomicmix":    {},
+		"spanpair":     {Exclude: []string{"internal/obs"}},
+		"chunkshare":   {},
+		"lockhold":     {},
+		"registration": {},
 	}}
 }
 

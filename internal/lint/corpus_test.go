@@ -117,16 +117,24 @@ func TestAnalyzerCorpus(t *testing.T) {
 func TestCorpusPerCheck(t *testing.T) {
 	pkgs, _ := loadCorpus(t)
 	positives := map[string]string{
-		"determinism": "internal/core/determinism_bad.go",
-		"obsnil":      "internal/app/obsnil_bad.go",
-		"poolpair":    "internal/app/poolpair_bad.go",
-		"atomicmix":   "internal/app/atomicmix_bad.go",
+		"determinism":  "internal/core/determinism_bad.go",
+		"obsnil":       "internal/app/obsnil_bad.go",
+		"poolpair":     "internal/app/poolpair_bad.go",
+		"atomicmix":    "internal/app/atomicmix_bad.go",
+		"spanpair":     "internal/app/spanpair_bad.go",
+		"chunkshare":   "internal/app/chunkshare_bad.go",
+		"lockhold":     "internal/app/lockhold_bad.go",
+		"registration": "internal/app/registration_bad.go",
 	}
 	negatives := map[string]string{
-		"determinism": "internal/core/determinism_ok.go",
-		"obsnil":      "internal/app/obsnil_ok.go",
-		"poolpair":    "internal/app/poolpair_ok.go",
-		"atomicmix":   "internal/app/atomicmix_ok.go",
+		"determinism":  "internal/core/determinism_ok.go",
+		"obsnil":       "internal/app/obsnil_ok.go",
+		"poolpair":     "internal/app/poolpair_ok.go",
+		"atomicmix":    "internal/app/atomicmix_ok.go",
+		"spanpair":     "internal/app/spanpair_ok.go",
+		"chunkshare":   "internal/app/chunkshare_ok.go",
+		"lockhold":     "internal/app/lockhold_ok.go",
+		"registration": "internal/app/registration_ok.go",
 	}
 	for _, a := range lint.All() {
 		analyzers, err := lint.ByName(a.Name)

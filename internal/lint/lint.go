@@ -68,7 +68,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every analyzer the suite ships, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ObsNil, PoolPair, AtomicMix}
+	return []*Analyzer{
+		Determinism, ObsNil, PoolPair, AtomicMix,
+		SpanPair, ChunkShare, LockHold, Registration,
+	}
 }
 
 // ByName resolves a comma-separated check list against All.

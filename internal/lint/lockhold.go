@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHold keeps critical sections small and deadlock-free. While a
+// sync.Mutex or RWMutex is held — from the Lock/RLock call to the matching
+// same-function Unlock, or to the end of the function when the Unlock is
+// deferred — three things are findings:
+//
+//   - a blocking channel send or receive (a select with a default branch is
+//     non-blocking and exempt): the StreamSink fan-out contract is exactly
+//     that the traced hot path can never be parked on a consumer;
+//   - a call into net or net/http (minus a small pure allowlist): network
+//     I/O under a lock turns one slow peer into a process-wide stall;
+//   - a nested acquisition that deadlocks — re-acquiring the held mutex, or
+//     taking two locks in opposite orders in different places in the
+//     package (each inconsistent pair is reported at both sites).
+//
+// The region tracking is lexical and per-function; closures are separate
+// scopes (they usually run elsewhere, where the lock is not held).
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc: "no blocking channel ops, net/net/http calls, or inconsistently " +
+		"ordered nested locks while a sync.Mutex/RWMutex is held",
+	Run: runLockHold,
+}
+
+// lockRegion is one held interval of one mutex inside a function body.
+type lockRegion struct {
+	key     types.Object // the mutex variable/field
+	op      string       // "Lock" or "RLock"
+	from    token.Pos    // end of the acquire call
+	to      token.Pos    // matching release, or body end (deferred/missing)
+	acquire *ast.CallExpr
+}
+
+func runLockHold(p *Pass) {
+	// Lock-order pairs observed across the package: held -> acquired, with
+	// the position of each acquisition. Inconsistent orders are reported
+	// after all functions are scanned.
+	type pairKey struct{ held, acquired types.Object }
+	pairs := make(map[pairKey][]token.Pos)
+
+	for _, f := range p.Pkg.Files {
+		forEachFuncBody(f, func(body *ast.BlockStmt) {
+			regions := collectLockRegions(p, body)
+			for _, reg := range regions {
+				checkHeldRegion(p, body, reg)
+				// Nested acquisitions inside the region.
+				for _, inner := range regions {
+					if inner.acquire == reg.acquire ||
+						inner.acquire.Pos() <= reg.from || inner.acquire.Pos() >= reg.to {
+						continue
+					}
+					if inner.key == reg.key {
+						if reg.op == "Lock" || inner.op == "Lock" {
+							p.Reportf(inner.acquire.Pos(), "%s of %s while it is already held "+
+								"(%s at %s): this deadlocks", inner.op, lockName(inner.key),
+								reg.op, p.shortPos(reg.acquire.Pos()))
+						}
+						continue
+					}
+					if reg.key != nil && inner.key != nil {
+						pairs[pairKey{reg.key, inner.key}] = append(
+							pairs[pairKey{reg.key, inner.key}], inner.acquire.Pos())
+					}
+				}
+			}
+		})
+	}
+
+	for pk, positions := range pairs {
+		if _, reversed := pairs[pairKey{pk.acquired, pk.held}]; !reversed {
+			continue
+		}
+		for _, pos := range positions {
+			p.Reportf(pos, "%s acquired while holding %s, but the opposite order also occurs "+
+				"in this package: inconsistent lock ordering deadlocks under contention "+
+				"(pick one global order)", lockName(pk.acquired), lockName(pk.held))
+		}
+	}
+}
+
+func lockName(obj types.Object) string {
+	if obj == nil {
+		return "a mutex"
+	}
+	return obj.Name()
+}
+
+// collectLockRegions finds each acquire in the body and the extent over
+// which its mutex stays held: up to the first same-key non-deferred release
+// after it, or to the end of the body when the release is deferred (or
+// missing — callers that lock for their caller hold to the end too).
+func collectLockRegions(p *Pass, body *ast.BlockStmt) []lockRegion {
+	info := p.Pkg.Info
+	defers := collectDefers(body)
+
+	type mutexCall struct {
+		call *ast.CallExpr
+		key  types.Object
+		op   string
+	}
+	var ops []mutexCall
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, op := mutexOp(info, call); op != "" {
+			ops = append(ops, mutexCall{call: call, key: key, op: op})
+		}
+		return true
+	})
+
+	var regions []lockRegion
+	for _, acq := range ops {
+		if acq.op != "Lock" && acq.op != "RLock" {
+			continue
+		}
+		want := "Unlock"
+		if acq.op == "RLock" {
+			want = "RUnlock"
+		}
+		to := body.End()
+		for _, rel := range ops {
+			if rel.op != want || rel.key != acq.key || rel.call.Pos() <= acq.call.End() {
+				continue
+			}
+			if underAnyDefer(defers, rel.call.Pos()) {
+				continue // deferred release: held to the end of the body
+			}
+			if rel.call.Pos() < to {
+				to = rel.call.Pos()
+			}
+		}
+		regions = append(regions, lockRegion{
+			key: acq.key, op: acq.op, from: acq.call.End(), to: to, acquire: acq.call,
+		})
+	}
+	return regions
+}
+
+// checkHeldRegion flags blocking channel operations and net/net/http calls
+// positioned inside one held region.
+func checkHeldRegion(p *Pass, body *ast.BlockStmt, reg lockRegion) {
+	info := p.Pkg.Info
+	nonBlocking := nonBlockingCommStmts(body)
+	inRegion := func(pos token.Pos) bool { return pos > reg.from && pos < reg.to }
+
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			if inRegion(e.Pos()) && !nonBlocking[e] {
+				p.Reportf(e.Pos(), "channel send while holding %s (%s at %s): a full buffer "+
+					"parks every other user of the lock; use a non-blocking select or move "+
+					"the send outside the critical section", lockName(reg.key), reg.op,
+					p.shortPos(reg.acquire.Pos()))
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW && inRegion(e.Pos()) && !nonBlocking[enclosingCommStmt(body, e)] {
+				p.Reportf(e.Pos(), "channel receive while holding %s (%s at %s): the lock is "+
+					"held until a sender shows up; receive outside the critical section",
+					lockName(reg.key), reg.op, p.shortPos(reg.acquire.Pos()))
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[e.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && inRegion(e.Pos()) {
+					p.Reportf(e.Pos(), "range over a channel while holding %s: the lock stays "+
+						"held until the channel closes", lockName(reg.key))
+				}
+			}
+		case *ast.CallExpr:
+			if !inRegion(e.Pos()) {
+				return true
+			}
+			fn := calleeFunc(info, e)
+			if fn == nil || !isNetCall(fn) {
+				return true
+			}
+			p.Reportf(e.Pos(), "call to %s.%s while holding %s (%s at %s): network I/O under "+
+				"a lock turns one slow peer into a process-wide stall",
+				funcPkgPath(fn), fn.Name(), lockName(reg.key), reg.op,
+				p.shortPos(reg.acquire.Pos()))
+		}
+		return true
+	})
+}
+
+// nonBlockingCommStmts returns the comm statements of every select that has
+// a default branch — the sanctioned non-blocking channel idiom.
+func nonBlockingCommStmts(body *ast.BlockStmt) map[ast.Stmt]bool {
+	out := make(map[ast.Stmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				out[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingCommStmt returns the select comm statement containing the
+// receive expression, if any (so `case v := <-ch:` under a default-bearing
+// select is recognized as non-blocking).
+func enclosingCommStmt(body *ast.BlockStmt, recv *ast.UnaryExpr) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CommClause)
+		if !ok {
+			return true
+		}
+		if cc.Comm != nil && within(cc.Comm, recv.Pos()) {
+			found = cc.Comm
+		}
+		return true
+	})
+	return found
+}
+
+// mutexOp classifies call as one of the four sync.Mutex/RWMutex operations,
+// returning the mutex object (variable or field) and the method name; op is
+// "" for anything else.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key types.Object, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return nil, ""
+	}
+	return rootObj(info, sel.X), sel.Sel.Name
+}
+
+// isNetCall reports whether fn lives in net or net/http and plausibly does
+// I/O. Pure helpers (string splitting, status text, header map access) are
+// allowlisted; net/url and net/netip never match (pure parsing packages).
+func isNetCall(fn *types.Func) bool {
+	path := funcPkgPath(fn)
+	if path != "net" && path != "net/http" {
+		return false
+	}
+	switch fn.Name() {
+	case "JoinHostPort", "SplitHostPort", "ParseIP", "ParseCIDR", "CIDRMask", "IPv4",
+		"StatusText", "CanonicalHeaderKey", "DetectContentType", "NewServeMux", "NewRequest":
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Header" {
+			return false // http.Header is a plain map
+		}
+		switch fn.Name() {
+		case "Header", "Context", "PathValue":
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden output files")
+
+// goldenResult is a fixed Result so the machine-readable output schemas are
+// pinned: a consumer (CI annotation tooling, the SARIF uploader) can rely
+// on field names and shapes not drifting silently.
+func goldenResult() *Result {
+	return &Result{
+		Packages:   3,
+		Suppressed: 2,
+		Diagnostics: []Diagnostic{
+			{
+				Check:   "spanpair",
+				File:    "internal/app/spanpair_bad.go",
+				Line:    7,
+				Col:     8,
+				Message: "span sp is started but never Ended in this function",
+			},
+			{
+				Check:   "lockhold",
+				File:    "internal/app/lockhold_bad.go",
+				Line:    18,
+				Col:     2,
+				Message: "channel send while holding mu",
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output; if the schema change is intended, "+
+			"regenerate with `go test ./internal/lint -run TestGolden -update`\n got:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.json", buf.Bytes())
+}
+
+func TestGoldenSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult().WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.sarif", buf.Bytes())
+}
+
+// TestGoldenSARIFEmpty pins the clean-run shape: results must be [] (never
+// null) and the rules table still lists every analyzer.
+func TestGoldenSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Result{Packages: 3}).WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "clean.sarif", buf.Bytes())
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Registration pins global registrations to startup. skeleton.Register
+// panics on a duplicate name by design — that is only safe because every
+// registration happens at init time, where a clash is a programming error
+// caught on first run. The same goes for HTTP route tables: mutating a
+// shared mux while requests are in flight is a race in net/http. So:
+//
+//   - skeleton.Register may only be called from an init function, from
+//     main, or from a New* constructor;
+//   - http.Handle / http.HandleFunc (the process-global DefaultServeMux)
+//     are held to the same contexts;
+//   - ServeMux.Handle / ServeMux.HandleFunc are fine anywhere when the mux
+//     is local to the function (the build-then-return constructor idiom of
+//     obshttp.Handler — including muxes received as parameters, which the
+//     caller still owns), but registering on a captured or package-level
+//     mux is startup-only.
+var Registration = &Analyzer{
+	Name: "registration",
+	Doc: "skeleton.Register and shared-mux HTTP registration only from init, " +
+		"main or New* constructors — never from request or extract paths",
+	Run: runRegistration,
+}
+
+func runRegistration(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			allowed := registrationContext(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case isSkeletonRegister(fn):
+					if !allowed {
+						p.Reportf(call.Pos(), "skeleton.Register called from %s: backend "+
+							"registration panics on duplicates and must happen at startup "+
+							"(init, main or a New* constructor)", fd.Name.Name)
+					}
+				case isGlobalMuxRegister(fn):
+					if !allowed {
+						p.Reportf(call.Pos(), "http.%s registers on the process-global "+
+							"DefaultServeMux from %s: route tables are wired at startup "+
+							"(init, main or a New* constructor)", fn.Name(), fd.Name.Name)
+					}
+				case isServeMuxMethod(fn):
+					if allowed {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					mux := rootObj(info, sel.X)
+					if mux != nil && within(fd, mux.Pos()) {
+						return true // function-local (or parameter) mux: constructor idiom
+					}
+					p.Reportf(call.Pos(), "ServeMux.%s on a shared mux from %s: mutating a "+
+						"live route table races with request dispatch; register at startup "+
+						"or build a local mux and swap it in", fn.Name(), fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// registrationContext reports whether fd is a sanctioned registration
+// context: an init function, main, or a New* constructor.
+func registrationContext(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return name == "init" || name == "main" || strings.HasPrefix(name, "New")
+}
+
+// isSkeletonRegister matches the backend-registry entry point of an
+// internal/skeleton package.
+func isSkeletonRegister(fn *types.Func) bool {
+	if fn.Name() != "Register" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	path := funcPkgPath(fn)
+	return path == "internal/skeleton" || strings.HasSuffix(path, "/internal/skeleton")
+}
+
+// isGlobalMuxRegister matches net/http's package-level Handle/HandleFunc.
+func isGlobalMuxRegister(fn *types.Func) bool {
+	if fn.Name() != "Handle" && fn.Name() != "HandleFunc" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return funcPkgPath(fn) == "net/http"
+}
+
+// isServeMuxMethod matches (*http.ServeMux).Handle/HandleFunc.
+func isServeMuxMethod(fn *types.Func) bool {
+	if fn.Name() != "Handle" && fn.Name() != "HandleFunc" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ServeMux" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

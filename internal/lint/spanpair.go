@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanPair is the tracing analogue of poolpair: every obs span opened with
+// StartSpan must be closed with End on every path out of the function that
+// owns it. A span that is never Ended keeps its subtree open forever — the
+// flight recorder never finalizes the run, the span profile undercounts,
+// and skeltrace's round accounting fails — and unlike a leaked pool object
+// the damage is silent until someone reads the trace.
+//
+// Ownership transfers are recognized and exempt: a span assigned to a
+// struct field belongs to the struct's lifecycle methods (the Extractor
+// and skeleton.Run idiom), a span returned to the caller is the caller's
+// to End (the NewRun idiom), and a span handed to another call or stored
+// in a composite literal travels with its new owner. The immediate
+// StartSpan(...).End() chain used for point markers is likewise fine. For
+// spans owned locally, a deferred End (directly or inside a deferred
+// closure) covers every path; otherwise each return after the start must
+// be preceded by an End.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc: "every obs Span opened with StartSpan must be Ended on all return " +
+		"paths (deferred End, branch End-then-return, or ownership hand-off)",
+	Run: runSpanPair,
+}
+
+func runSpanPair(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		forEachFuncBody(f, func(body *ast.BlockStmt) {
+			checkSpanBody(p, body)
+		})
+	}
+}
+
+// spanStart is one StartSpan call owned by the scope under analysis.
+type spanStart struct {
+	call *ast.CallExpr
+	obj  types.Object // local variable holding the span; nil if unnamed
+}
+
+func checkSpanBody(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	returns := collectReturns(body)
+	defers := collectDefers(body)
+
+	// Collect the StartSpan calls this scope owns. Nested function literals
+	// are separate scopes (forEachFuncBody visits them on their own), so a
+	// start inside a closure is attributed exactly once.
+	var starts []spanStart
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSpanStartCall(info, call) {
+			return true
+		}
+		starts = append(starts, spanStart{call: call})
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+
+	for i := range starts {
+		st := &starts[i]
+		owner, handedOff := spanDestination(info, body, st.call)
+		if handedOff {
+			continue // chained .End(), field store, call argument, composite literal
+		}
+		if escapesViaReturn(info, body, st.call, returns) {
+			continue // accessor form: the caller owns the End
+		}
+		if owner == nil {
+			p.Reportf(st.call.Pos(), "StartSpan result is discarded: the span can never be "+
+				"Ended and its subtree stays open in the trace")
+			continue
+		}
+		st.obj = owner
+
+		// End calls on the owner anywhere inside the body, nested closures
+		// included — an End inside a deferred literal still closes the span.
+		var ends []*ast.CallExpr
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isSpanEndCall(info, call, owner) {
+				ends = append(ends, call)
+			}
+			return true
+		})
+		if len(ends) == 0 {
+			if mentionedInCallOrComposite(info, body, owner, st.call) {
+				continue // handed off by value after the fact; new owner Ends it
+			}
+			p.Reportf(st.call.Pos(), "span %s is started but never Ended in this function: "+
+				"close it with a deferred %s.End() or hand it to an owner that does",
+				owner.Name(), owner.Name())
+			continue
+		}
+		deferred := false
+		for _, e := range ends {
+			if underAnyDefer(defers, e.Pos()) {
+				deferred = true
+				break
+			}
+		}
+		if deferred {
+			continue
+		}
+		// No deferred End: every return after the start needs an End before
+		// it (the branch End-then-return shape). Flag returns with none.
+		for _, ret := range returns {
+			if ret.Pos() <= st.call.End() {
+				continue
+			}
+			covered := false
+			for _, e := range ends {
+				if e.End() > st.call.End() && e.End() <= ret.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				p.Reportf(ret.Pos(), "return between StartSpan and the first %s.End(): the span "+
+					"leaks open on this path (End before returning, or defer the End)", owner.Name())
+			}
+		}
+	}
+}
+
+// isSpanStartCall reports whether call is Tracer.StartSpan or Span.StartSpan
+// of an internal/obs package.
+func isSpanStartCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	name, ok := obsHandle(sig.Recv().Type())
+	return ok && (name == "Tracer" || name == "Span")
+}
+
+// isSpanEndCall reports whether call is owner.End(...) where owner holds an
+// obs span.
+func isSpanEndCall(info *types.Info, call *ast.CallExpr, owner types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if name, ok := obsHandle(sig.Recv().Type()); !ok || name != "Span" {
+		return false
+	}
+	return rootObj(info, sel.X) == owner
+}
+
+// spanDestination classifies where a StartSpan result goes. handedOff is
+// true when the span's lifecycle belongs to someone else: an immediate
+// .End() chain, a struct-field store, a call argument, or a composite
+// literal. Otherwise owner is the local variable the result is bound to
+// (nil when the result is discarded).
+func spanDestination(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) (owner types.Object, handedOff bool) {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch parent := n.(type) {
+		case *ast.SelectorExpr:
+			// StartSpan(...).End() / .Event(...) chain: used in place.
+			if ast.Unparen(parent.X) == call {
+				found, handedOff = true, true
+			}
+		case *ast.CallExpr:
+			if parent == call {
+				return true
+			}
+			for _, arg := range parent.Args {
+				if ast.Unparen(arg) == call {
+					found, handedOff = true, true // f(t.StartSpan(...)): callee owns it
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range parent.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if ast.Unparen(e) == call {
+					found, handedOff = true, true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) != call || i >= len(parent.Lhs) {
+					continue
+				}
+				lhs := ast.Unparen(parent.Lhs[i])
+				if _, isSel := lhs.(*ast.SelectorExpr); isSel {
+					found, handedOff = true, true // field store: struct lifecycle owns it
+					return false
+				}
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := rootObj(info, id); obj != nil {
+						found, owner = true, obj
+						return false
+					}
+				}
+				found = true // assigned to _ or an index: treated as discarded
+			}
+		}
+		return !found
+	})
+	return owner, handedOff
+}
+
+// mentionedInCallOrComposite reports whether obj is passed to any call or
+// stored in any composite literal — a by-value hand-off of the span to a
+// new owner (only uses after the start can exist, since that is where the
+// object is defined).
+func mentionedInCallOrComposite(info *types.Info, body *ast.BlockStmt, obj types.Object, start *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if e == start {
+				return false
+			}
+			for _, arg := range e.Args {
+				if exprMentions(info, arg, obj) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if exprMentions(info, elt, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,79 @@
+// Negative corpus for the chunkshare analyzer: the sanctioned ownership
+// shapes for writing results out of a parallel chunk callback.
+package app
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"example.com/skel/internal/graph"
+)
+
+// chunkPerIndexSlot writes only to the slot owned by the chunk-local node
+// index: disjoint slots, no race.
+func chunkPerIndexSlot(g *graph.Graph) []int {
+	out := make([]int, g.N())
+	graph.ParallelNodes(g, nil, nil, func(w *graph.Walker, v int) {
+		out[v] = v * v
+	})
+	return out
+}
+
+// chunkPerWorkerBuffer routes appends through the chunk-indexed buffer; the
+// caller merges after the barrier.
+func chunkPerWorkerBuffer(g *graph.Graph) [][]int {
+	bufs := make([][]int, 4)
+	graph.ParallelChunks(g.N(), 4, func(ci, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			bufs[ci] = append(bufs[ci], v)
+		}
+	})
+	return bufs
+}
+
+var chunkTotal int64
+
+// chunkAtomicCounter aggregates through sync/atomic.
+func chunkAtomicCounter(g *graph.Graph) int64 {
+	atomic.StoreInt64(&chunkTotal, 0)
+	graph.ParallelNodes(g, nil, nil, func(w *graph.Walker, v int) {
+		atomic.AddInt64(&chunkTotal, int64(v))
+	})
+	return atomic.LoadInt64(&chunkTotal)
+}
+
+// chunkMutexGuarded reduces into shared state under a lock, accumulating
+// chunk-locally first.
+func chunkMutexGuarded(g *graph.Graph) int {
+	var mu sync.Mutex
+	total := 0
+	graph.ParallelChunks(g.N(), 4, func(_, lo, hi int) {
+		sub := 0
+		for v := lo; v < hi; v++ {
+			sub += v
+		}
+		mu.Lock()
+		total += sub
+		mu.Unlock()
+	})
+	return total
+}
+
+// chunkDerivedIndex writes through a slot derived from the chunk-local
+// index; the derivation stays inside the callback.
+func chunkDerivedIndex(g *graph.Graph, order []int) []int {
+	out := make([]int, g.N())
+	graph.ParallelRange(g, g.N(), nil, nil, func(w *graph.Walker, i int) {
+		v := order[i]
+		out[v] = i
+	})
+	return out
+}
+
+func sanctionedChunkWrite(g *graph.Graph) int {
+	last := 0
+	graph.ParallelNodes(g, nil, nil, func(w *graph.Walker, v int) {
+		last = v //lint:allow chunkshare this call site pins maxChunks to 1, so writes are serial
+	})
+	return last
+}

@@ -1,0 +1,58 @@
+// Positive corpus for the lockhold analyzer: blocking operations and
+// ordering hazards inside mutex critical sections.
+package app
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+type lockedFanout struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (f *lockedFanout) blockingSend(v int) {
+	f.mu.Lock()
+	f.ch <- v // want "channel send while holding mu"
+	f.mu.Unlock()
+}
+
+func (f *lockedFanout) blockingRecv() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return <-f.ch // want "channel receive while holding mu"
+}
+
+func (f *lockedFanout) netUnderLock(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, _ = net.Dial("tcp", addr)      // want "call to net.Dial while holding mu"
+	_, _ = http.Get("http://" + addr) // want "call to net/http.Get while holding mu"
+}
+
+func (f *lockedFanout) relock() {
+	f.mu.Lock()
+	f.mu.Lock() // want "Lock of mu while it is already held"
+	f.mu.Unlock()
+	f.mu.Unlock()
+}
+
+type orderHazard struct {
+	a, b sync.Mutex
+}
+
+func (o *orderHazard) lockAB() {
+	o.a.Lock()
+	o.b.Lock() // want "b acquired while holding a, but the opposite order also occurs"
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+func (o *orderHazard) lockBA() {
+	o.b.Lock()
+	o.a.Lock() // want "a acquired while holding b, but the opposite order also occurs"
+	o.a.Unlock()
+	o.b.Unlock()
+}

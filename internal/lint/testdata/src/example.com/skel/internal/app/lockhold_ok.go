@@ -1,0 +1,70 @@
+// Negative corpus for the lockhold analyzer: the sanctioned shapes for
+// mixing locks with channels, the network, and other locks.
+package app
+
+import (
+	"net"
+	"sync"
+)
+
+type streamFan struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+// emit is the StreamSink idiom: the send under the lock is non-blocking
+// because the select has a default clause, so slow subscribers drop.
+func (s *streamFan) emit(v int) {
+	s.mu.Lock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
+// sendOutsideLock snapshots under the lock and blocks only after release.
+func (s *streamFan) sendOutsideLock(v int) {
+	s.mu.Lock()
+	subs := append([]chan int(nil), s.subs...)
+	s.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// dialBeforeLock does the blocking network work first, then takes the lock
+// for the bookkeeping.
+func (s *streamFan) dialBeforeLock(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = conn, err
+}
+
+type consistentOrder struct {
+	outer, inner sync.Mutex
+}
+
+// Both paths acquire outer before inner: one global order, no cycle.
+func (o *consistentOrder) readPath() {
+	o.outer.Lock()
+	o.inner.Lock()
+	o.inner.Unlock()
+	o.outer.Unlock()
+}
+
+func (o *consistentOrder) writePath() {
+	o.outer.Lock()
+	o.inner.Lock()
+	o.inner.Unlock()
+	o.outer.Unlock()
+}
+
+func (s *streamFan) sanctionedDialUnderLock(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = net.Dial("tcp", addr) //lint:allow lockhold startup-only path, nothing else contends for mu yet
+}

@@ -1,0 +1,27 @@
+// Positive corpus for the registration analyzer: backend and mux
+// registration from request/extraction paths.
+package app
+
+import (
+	"net/http"
+
+	"example.com/skel/internal/skeleton"
+)
+
+type dynamicBackend struct{ name string }
+
+func (d dynamicBackend) Name() string { return d.name }
+
+func handleExtract(name string) {
+	skeleton.Register(dynamicBackend{name: name}) // want "skeleton.Register called from handleExtract"
+}
+
+func wireRoutesLate() {
+	http.HandleFunc("/extract", func(w http.ResponseWriter, r *http.Request) {}) // want "http.HandleFunc registers on the process-global DefaultServeMux from wireRoutesLate"
+}
+
+var sharedMux = http.NewServeMux()
+
+func (d dynamicBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sharedMux.HandleFunc("/dyn/"+d.name, func(w http.ResponseWriter, r *http.Request) {}) // want "ServeMux.HandleFunc on a shared mux from ServeHTTP"
+}

@@ -1,0 +1,40 @@
+// Negative corpus for the registration analyzer: the sanctioned
+// registration sites — init, constructors, and caller-owned muxes.
+package app
+
+import (
+	"net/http"
+
+	"example.com/skel/internal/skeleton"
+)
+
+type staticBackend struct{}
+
+func (staticBackend) Name() string { return "static" }
+
+func init() {
+	skeleton.Register(staticBackend{})
+}
+
+// NewControlPlane builds its mux locally and hands it to the caller: the
+// obshttp.Handler idiom.
+func NewControlPlane() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	mux.Handle("/metrics", http.NotFoundHandler())
+	return mux
+}
+
+// mountDebug registers on a mux its caller owns; a parameter is local to
+// every call.
+func mountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {})
+}
+
+type testHarness struct{ name string }
+
+func (h testHarness) Name() string { return h.name }
+
+func swapBackendForTest(name string) {
+	skeleton.Register(testHarness{name: name}) //lint:allow registration test harness swaps backends between cases
+}

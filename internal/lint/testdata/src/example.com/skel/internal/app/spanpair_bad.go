@@ -1,0 +1,26 @@
+// Positive corpus for the spanpair analyzer: spans that leak open.
+package app
+
+import "example.com/skel/internal/obs"
+
+func spanLeak(t *obs.Tracer) {
+	sp := t.StartSpan("work") // want "span sp is started but never Ended"
+	sp.Event("progress")
+}
+
+func spanDiscarded(t *obs.Tracer) {
+	t.StartSpan("work") // want "StartSpan result is discarded"
+}
+
+func spanEarlyReturn(t *obs.Tracer, cond bool) {
+	sp := t.StartSpan("work")
+	if cond {
+		return // want "return between StartSpan and the first sp.End"
+	}
+	sp.End()
+}
+
+func childSpanLeak(parent *obs.Span) {
+	child := parent.StartSpan("stage") // want "span child is started but never Ended"
+	child.Event("begin")
+}

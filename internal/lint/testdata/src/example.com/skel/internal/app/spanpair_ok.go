@@ -1,0 +1,77 @@
+// Negative corpus for the spanpair analyzer: every sanctioned span
+// lifecycle shape, plus one annotated leak.
+package app
+
+import (
+	"errors"
+
+	"example.com/skel/internal/obs"
+)
+
+func spanDeferredEnd(t *obs.Tracer) {
+	sp := t.StartSpan("work")
+	defer sp.End()
+	sp.Event("progress")
+}
+
+func spanDeferredClosureEnd(t *obs.Tracer) (err error) {
+	sp := t.StartSpan("work")
+	defer func() {
+		sp.Event("done")
+		sp.End()
+	}()
+	return nil
+}
+
+func spanBranchEndThenReturn(t *obs.Tracer, fail bool) error {
+	sp := t.StartSpan("work")
+	if fail {
+		sp.End()
+		return errors.New("failed")
+	}
+	sp.Event("ok")
+	sp.End()
+	return nil
+}
+
+func spanPointMarker(t *obs.Tracer) {
+	t.StartSpan("marker").End()
+}
+
+// spanOwner holds its root span in a field; lifecycle methods End it.
+type spanOwner struct {
+	root *obs.Span
+}
+
+func (o *spanOwner) open(t *obs.Tracer) {
+	o.root = t.StartSpan("run")
+}
+
+func (o *spanOwner) close() {
+	o.root.End()
+}
+
+// newCallerOwnedSpan returns the span: the caller Ends it.
+func newCallerOwnedSpan(t *obs.Tracer) *obs.Span {
+	return t.StartSpan("caller-owned")
+}
+
+// spanHandOff passes the span by value to a helper that Ends it.
+func spanHandOff(t *obs.Tracer) {
+	sp := t.StartSpan("work")
+	finishSpan(sp)
+}
+
+func finishSpan(sp *obs.Span) {
+	sp.End()
+}
+
+// spanInComposite stores the span in a struct literal; the new owner Ends it.
+func spanInComposite(t *obs.Tracer) *spanOwner {
+	return &spanOwner{root: t.StartSpan("owned")}
+}
+
+func sanctionedSpanLeak(t *obs.Tracer) {
+	sp := t.StartSpan("fire-and-forget") //lint:allow spanpair process exits before this trace is read
+	sp.Event("launched")
+}

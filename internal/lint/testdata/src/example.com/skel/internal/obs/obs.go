@@ -27,5 +27,16 @@ type Span struct {
 	Name string
 }
 
+// StartSpan opens a child span; nil spans hand out nil children.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{Name: name}
+}
+
+// Event records a point annotation; inert on nil.
+func (s *Span) Event(name string) {}
+
 // End closes the span; inert on nil.
 func (s *Span) End() {}

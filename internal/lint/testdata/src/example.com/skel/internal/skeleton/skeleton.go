@@ -1,0 +1,19 @@
+// Package skeleton is a miniature stand-in for the real backend registry:
+// just enough Register surface for the registration analyzer corpus.
+package skeleton
+
+// Backend is one pluggable skeleton extraction algorithm.
+type Backend interface {
+	Name() string
+}
+
+var registry = map[string]Backend{}
+
+// Register adds a backend under its name, panicking on duplicates — which
+// is only safe because registration happens at init time.
+func Register(b Backend) {
+	if _, dup := registry[b.Name()]; dup {
+		panic("skeleton: duplicate backend " + b.Name())
+	}
+	registry[b.Name()] = b
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// These tests exist for the race detector (the CI race job runs them with
+// -race): they hammer the two concurrency-critical paths of the live
+// observability plane — StreamSink fan-out with subscriptions churning
+// under emits, and the lock-free Histogram.Observe against Snapshot — and
+// assert the cheap invariants that survive interleaving.
+
+func TestStreamSinkSubscribeRacesEmit(t *testing.T) {
+	s := NewStreamSink()
+	const (
+		emitters  = 4
+		churners  = 4
+		perWorker = 500
+	)
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Emit(Record{
+					Kind:  KindEvent,
+					Name:  "race-test",
+					Attrs: []Attr{{Key: "i", Val: int64(i)}},
+				})
+			}
+		}()
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sub := s.Subscribe(4)
+				// Drain whatever arrived while subscribed, then cancel —
+				// including a second Cancel to exercise the once path.
+				for len(sub.C) > 0 {
+					<-sub.C
+				}
+				sub.Cancel()
+				sub.Cancel()
+				_ = sub.Dropped()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.Subscribers(); n != 0 {
+		t.Fatalf("subscribers after all cancelled = %d, want 0", n)
+	}
+	// The sink must still deliver once the churn is over.
+	sub := s.Subscribe(1)
+	defer sub.Cancel()
+	s.Emit(Record{Kind: KindEvent, Name: "after"})
+	r := <-sub.C
+	if r.Name != "after" {
+		t.Fatalf("post-churn record = %q, want %q", r.Name, "after")
+	}
+}
+
+// TestStreamSinkCancelledSubscriberDoesNotReceive pins the Cancel contract
+// under concurrency: after Cancel returns, C is closed, so a racing Emit
+// must never deliver on it (a send on the closed channel would panic).
+func TestStreamSinkCancelledSubscriberDoesNotReceive(t *testing.T) {
+	s := NewStreamSink()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Emit(Record{Kind: KindEvent, Name: "spin"})
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		sub := s.Subscribe(1)
+		sub.Cancel()
+		// Receiving from the closed channel must yield only buffered
+		// records, then the zero Record.
+		for r := range sub.C {
+			if r.Name != "spin" {
+				t.Fatalf("unexpected record %q", r.Name)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramObserveRacesSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("race_seconds", DurationBuckets)
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%7) * 0.001)
+			}
+		}(w)
+	}
+	// Snapshot concurrently with the observers; each snapshot must be
+	// internally sane even when torn across buckets.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := reg.Snapshot()
+			hs, ok := s.Histograms["race_seconds"]
+			if !ok {
+				t.Error("histogram missing from snapshot")
+				return
+			}
+			if hs.Count < 0 {
+				t.Errorf("negative count %d", hs.Count)
+				return
+			}
+			var prev int64
+			for _, b := range hs.Buckets {
+				if b.Count < prev {
+					t.Errorf("cumulative bucket counts decreased: %d after %d", b.Count, prev)
+					return
+				}
+				prev = b.Count
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	final := reg.Snapshot().Histograms["race_seconds"]
+	if want := int64(workers * perW); final.Count != want {
+		t.Fatalf("final count = %d, want %d", final.Count, want)
+	}
+	last := final.Buckets[len(final.Buckets)-1]
+	if last.Count != final.Count {
+		t.Fatalf("largest bucket holds %d of %d observations", last.Count, final.Count)
+	}
+}
