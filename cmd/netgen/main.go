@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bfskel"
 )
@@ -43,10 +44,12 @@ func run() error {
 	if *uniform {
 		layout = bfskel.LayoutUniform
 	}
+	buildStart := time.Now() //lint:allow determinism build wall-time report; network content is keyed by Seed
 	net, err := bfskel.BuildNetwork(bfskel.NetworkSpec{
 		Shape: shape, N: *n, TargetDeg: *deg, Seed: *seed,
 		Layout: layout, KeepWholeGraph: *whole,
 	})
+	buildMs := float64(time.Since(buildStart)) / float64(time.Millisecond)
 	if err != nil {
 		return err
 	}
@@ -55,6 +58,7 @@ func run() error {
 	fmt.Printf("nodes=%d (of %d deployed) avg.deg=%.2f connected=%v\n",
 		net.N(), *n, net.AvgDegree(), net.Graph.IsConnected())
 	fmt.Printf("radio=%v hop-diameter>=%d\n", net.Radio, net.Graph.DiameterLowerBound(0))
+	fmt.Printf("build=%.1fms peak-rss=%.1fMB\n", buildMs, bfskel.PeakRSSMB())
 
 	write := func(path string, render func(*os.File) error) error {
 		f, err := os.Create(path)

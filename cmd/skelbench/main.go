@@ -18,6 +18,8 @@
 //	                                    # (/metrics /runs /trace /profile /debug/pprof)
 //	skelbench -obs :6060 -obs-wait      # keep serving after the run, until interrupted
 //	skelbench -scorecard card.json -compare BENCH_pr7.json  # delta vs a checked-in baseline
+//	skelbench -ladder 10000,100000,1000000              # scale ladder: build/extract wall time + peak RSS per size
+//	skelbench -ladder 100000 -ladder-ceiling 120 -ladder-out ladder.json  # CI capacity gate
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -78,6 +81,11 @@ func run() error {
 		tolerance = flag.Float64("tolerance", 0.30, "fractional regression tolerance for -compare (0.30 = flag >30% growth)")
 		cmpOut    = flag.String("compare-out", "", "also write the -compare delta report as JSON to this path")
 		cmpStrict = flag.Bool("compare-strict", false, "exit non-zero when -compare finds regressions")
+		ladderF   = flag.String("ladder", "", "comma-separated node counts for the scale ladder (e.g. 10000,100000,1000000); with -scorecard the rungs embed in the scorecard JSON")
+		ladderSh  = flag.String("ladder-shape", "window", "deployment field for -ladder rungs")
+		ladderDeg = flag.Float64("ladder-deg", 7, "target average degree for -ladder rungs")
+		ladderOut = flag.String("ladder-out", "", "write the -ladder rungs as standalone JSON to this path (without -scorecard)")
+		ladderMax = flag.Float64("ladder-ceiling", 0, "fail when any -ladder rung's extraction exceeds this many seconds (0 = no ceiling)")
 	)
 	flag.Parse()
 
@@ -138,8 +146,27 @@ func run() error {
 		return runCompare(*comparePt, current, *tolerance, *cmpOut, *cmpStrict)
 	}
 
+	// The ladder runs after any scorecard measurement: the 10^6-node rung
+	// leaves a multi-hundred-MB heap behind, which would skew the GC-heavy
+	// backends' wall times if it ran first.
+	ladderFn := func() ([]bfskel.LadderRung, error) {
+		if *ladderF == "" {
+			return nil, nil
+		}
+		return runLadder(*ladderF, *ladderSh, *ladderDeg, *seed, *ladderMax, *ladderOut, *scorePath == "")
+	}
+
 	if *scorePath != "" {
-		return runScorecard(*scorePath, *backends, *shapesF, *nOverride, *seed, ob, *metricsOn, compare)
+		return runScorecard(*scorePath, *backends, *shapesF, *nOverride, *seed, ladderFn, ob, *metricsOn, compare)
+	}
+	if *ladderF != "" {
+		if _, err := ladderFn(); err != nil {
+			return err
+		}
+		if *fig == "" {
+			// Ladder-only invocation: don't drag the full figure sweep along.
+			return nil
+		}
 	}
 
 	figures := bfskel.FigureNames()
@@ -193,10 +220,61 @@ func run() error {
 	return nil
 }
 
+// runLadder drives the scale ladder (-ladder): one build + one extraction
+// per requested size, with wall-time, stage, and peak-RSS reporting. The
+// rungs are returned for embedding in a scorecard; standalone invocations
+// optionally write them to their own JSON file. A non-zero ceiling turns
+// the ladder into a CI gate: any errored rung or extraction slower than the
+// ceiling fails the run.
+func runLadder(sizeList, shape string, deg float64, seed int64, ceiling float64, outPath string, standalone bool) ([]bfskel.LadderRung, error) {
+	var sizes []int
+	for _, f := range strings.Split(sizeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-ladder: bad size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	rungs, err := bfskel.RunLadder(bfskel.LadderConfig{
+		Shape: shape, Sizes: sizes, TargetDeg: deg, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("== ladder ==")
+	for _, r := range rungs {
+		fmt.Println(" ", r)
+	}
+	if standalone && outPath != "" {
+		card := bfskel.Scorecard{
+			Date:   time.Now().UTC().Format(time.RFC3339), //lint:allow determinism report date stamp; results are keyed by Seed
+			Seed:   seed,
+			Ladder: rungs,
+		}
+		data, err := json.MarshalIndent(&card, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Println("wrote", outPath)
+	}
+	for _, r := range rungs {
+		if r.Err != "" {
+			return nil, fmt.Errorf("-ladder: rung n=%d failed: %s", r.N, r.Err)
+		}
+		if ceiling > 0 && r.ExtractMs > ceiling*1000 {
+			return nil, fmt.Errorf("-ladder-ceiling: rung n=%d extracted in %.1fms, over the %.0fs ceiling", r.N, r.ExtractMs, ceiling)
+		}
+	}
+	return rungs, nil
+}
+
 // runScorecard drives the cross-backend comparison: every named backend
 // over every named shape through the facade's quality harness, printed as
 // an aligned table and written as machine-readable JSON.
-func runScorecard(path, backendList, shapeList string, nOverride int, seed int64, ob bfskel.ObsScope, metricsOn bool, compare func([]bfskel.BenchCell) error) error {
+func runScorecard(path, backendList, shapeList string, nOverride int, seed int64, ladderFn func() ([]bfskel.LadderRung, error), ob bfskel.ObsScope, metricsOn bool, compare func([]bfskel.BenchCell) error) error {
 	defaults := map[string]struct {
 		n   int
 		deg float64
@@ -245,6 +323,10 @@ func runScorecard(path, backendList, shapeList string, nOverride int, seed int64
 		return err
 	}
 	card.Date = time.Now().UTC().Format(time.RFC3339) //lint:allow determinism report date stamp; results are keyed by Seed
+	card.Ladder, err = ladderFn()
+	if err != nil {
+		return err
+	}
 	fmt.Println(card)
 	data, err := json.MarshalIndent(card, "", "  ")
 	if err != nil {

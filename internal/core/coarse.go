@@ -6,15 +6,30 @@ import (
 	"bfskel/internal/graph"
 )
 
+// pairSeg is one (site pair, segment node) membership tuple; the coarse
+// stage collects them flat and sorts once instead of building a per-pair
+// map, so the grouping allocates nothing once the engine's buffer is warm.
+type pairSeg struct {
+	pair SitePair
+	v    int32
+}
+
+// coarse runs Phase 3 through a throwaway engine; the staged pipeline calls
+// the Extractor method below so the scratch pools persist.
+func coarse(g *graph.Graph, index []float64, records [][]SiteDist) ([]SiteEdge, *Skeleton) {
+	return NewExtractor(g).coarse(index, records)
+}
+
 // coarse runs Phase 3 (Sec. III-C): for every pair of adjacent Voronoi
 // cells, the segment node with the largest index is selected as the
 // connector; it sends a message along the reverse paths kept during Voronoi
 // construction, building the two paths to its nearest sites, which together
 // connect the sites. The union of all such paths is the coarse skeleton.
-func coarse(g *graph.Graph, index []float64, records [][]SiteDist) ([]SiteEdge, *Skeleton) {
-	// Group segment nodes by unordered site pair. A Voronoi node recording
-	// m >= 3 sites is a segment node for each of its m(m-1)/2 pairs.
-	pairSegs := make(map[SitePair][]int32)
+func (e *Extractor) coarse(index []float64, records [][]SiteDist) ([]SiteEdge, *Skeleton) {
+	g := e.g
+	// Collect (pair, segment node) tuples. A Voronoi node recording m >= 3
+	// sites is a segment node for each of its m(m-1)/2 pairs.
+	tuples := e.pairBuf[:0]
 	for v := range records {
 		recs := records[v]
 		if len(recs) < 2 {
@@ -22,36 +37,46 @@ func coarse(g *graph.Graph, index []float64, records [][]SiteDist) ([]SiteEdge, 
 		}
 		for i := 0; i < len(recs); i++ {
 			for j := i + 1; j < len(recs); j++ {
-				p := MakeSitePair(recs[i].Site, recs[j].Site)
-				pairSegs[p] = append(pairSegs[p], int32(v))
+				tuples = append(tuples, pairSeg{pair: MakeSitePair(recs[i].Site, recs[j].Site), v: int32(v)})
 			}
 		}
 	}
+	e.pairBuf = tuples
 
-	// Iterate pairs in sorted (A, B) order, never in map order: the edge
-	// list, the path union and the trace all follow this order, and the
-	// fixed-seed determinism tests compare them bit-for-bit. The
-	// collect-keys-then-sort shape is what the determinism analyzer
-	// (cmd/skellint) expects; walking pairSegs directly is a finding.
-	pairs := make([]SitePair, 0, len(pairSegs))
-	for p := range pairSegs {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
+	// Sort by (A, B, v) and walk the groups: pairs come out in sorted
+	// (A, B) order — the edge list, the path union and the trace all follow
+	// this order, and the fixed-seed determinism tests compare them
+	// bit-for-bit — and each pair's segment nodes come out ascending by
+	// node ID, the order the old per-pair map accumulated them in.
+	sort.Slice(tuples, func(i, j int) bool {
+		if tuples[i].pair.A != tuples[j].pair.A {
+			return tuples[i].pair.A < tuples[j].pair.A
 		}
-		return pairs[i].B < pairs[j].B
+		if tuples[i].pair.B != tuples[j].pair.B {
+			return tuples[i].pair.B < tuples[j].pair.B
+		}
+		return tuples[i].v < tuples[j].v
 	})
 
+	e.fld.ensure(g.N())
 	skel := NewSkeleton(g.N())
 	var edges []SiteEdge
-	for _, pr := range pairs {
+	segs := make([]int32, 0, 64)
+	for lo := 0; lo < len(tuples); {
+		hi := lo
+		pr := tuples[lo].pair
+		for hi < len(tuples) && tuples[hi].pair == pr {
+			hi++
+		}
+		segs = segs[:0]
+		for _, t := range tuples[lo:hi] {
+			segs = append(segs, t.v)
+		}
+		lo = hi
 		// The paper selects exactly one segment node per adjacent cell
 		// pair, so each pair contributes one connection. (A hole encircled
 		// by only two cells is therefore not representable — as in the
 		// paper; enough sites form around any hole of non-trivial size.)
-		segs := pairSegs[pr]
 		connector := selectConnector(segs, index)
 		toA := pathToSite(records, connector, pr.A)
 		toB := pathToSite(records, connector, pr.B)
@@ -62,7 +87,7 @@ func coarse(g *graph.Graph, index []float64, records [][]SiteDist) ([]SiteEdge, 
 		}
 		path = append(path, toB[1:]...)
 		skel.AddPath(path)
-		e1, e2 := bandEndNodes(g, segs, connector)
+		e1, e2 := e.bandEndNodes(segs, connector)
 		edges = append(edges, SiteEdge{
 			Pair:         pr,
 			Connector:    connector,
@@ -89,33 +114,41 @@ func selectConnector(segs []int32, index []float64) int32 {
 // bandEndNodes finds the two farthest-apart segment nodes of a pair's band
 // (the paper's "end nodes", Sec. III-D) with a double BFS sweep restricted
 // to the band.
-func bandEndNodes(g *graph.Graph, segs []int32, connector int32) (int32, int32) {
+func (e *Extractor) bandEndNodes(segs []int32, connector int32) (int32, int32) {
 	if len(segs) == 1 {
 		return segs[0], segs[0]
 	}
-	inBand := make(map[int32]bool, len(segs))
+	e.fld.beginMark()
 	for _, v := range segs {
-		inBand[v] = true
+		e.fld.mark(v, 1)
 	}
-	e1 := farthestInBand(g, connector, inBand)
-	e2 := farthestInBand(g, e1, inBand)
+	e1 := e.farthestInBand(connector)
+	e2 := e.farthestInBand(e1)
 	return e1, e2
 }
 
-// farthestInBand runs a BFS from src that traverses band nodes (allowing
-// the same one-hop bridges as bandComponents) and returns the farthest
-// reached band node (src if none). The tie-break is explicit: among nodes
-// at the maximum distance, the lowest node ID wins, so the selected end
-// node is a pure function of the band — inBand is only ever used for
-// membership tests, never iterated.
-func farthestInBand(g *graph.Graph, src int32, inBand map[int32]bool) int32 {
-	dist := map[int32]int32{src: 0}
-	queue := []int32{src}
+// farthestInBand runs a BFS from src that traverses band nodes (the current
+// mark set, allowing the same one-hop bridges as bandComponents) and returns
+// the farthest reached band node (src if none). The tie-break is explicit:
+// among nodes at the maximum distance, the lowest node ID wins, so the
+// selected end node is a pure function of the band — the mark set is only
+// ever used for membership tests, never iterated.
+func (e *Extractor) farthestInBand(src int32) int32 {
+	g := e.g
+	fld := &e.fld
+	fld.epoch++
+	epoch := fld.epoch
+	dist, stamp := fld.dist, fld.stamp
+	stamp[src] = epoch
+	dist[src] = 0
+	queue := fld.queue[:0]
+	queue = append(queue, src)
 	far := src
 	visit := func(v, d int32) {
-		if _, seen := dist[v]; seen {
+		if stamp[v] == epoch {
 			return
 		}
+		stamp[v] = epoch
 		dist[v] = d
 		// Strictly farther wins; at equal distance the lower ID wins.
 		if d > dist[far] || (d == dist[far] && v < far) {
@@ -127,16 +160,17 @@ func farthestInBand(g *graph.Graph, src int32, inBand map[int32]bool) int32 {
 		u := queue[head]
 		du := dist[u]
 		for _, v := range g.Neighbors(int(u)) {
-			if inBand[v] {
+			if _, inBand := fld.marked(v); inBand {
 				visit(v, du+1)
 				continue
 			}
 			for _, w := range g.Neighbors(int(v)) {
-				if inBand[w] {
+				if _, inBand := fld.marked(w); inBand {
 					visit(w, du+2)
 				}
 			}
 		}
 	}
+	fld.queue = queue[:0]
 	return far
 }

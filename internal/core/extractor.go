@@ -53,15 +53,24 @@ type Extractor struct {
 	visited atomic.Int64
 
 	// Reusable scratch; none of it escapes into results.
-	ballsFlat []int   // n*maxR cumulative ball sizes (identify)
-	balls     [][]int // row views into ballsFlat
-	wsums     []int   // batched-kernel centrality sums (identify)
-	ints      []int   // median / boundary sort scratch
-	bools     []bool  // electSites maximality flags
-	vorDist   []int32 // voronoi: per-site BFS distances
-	vorStamp  []int32 // voronoi: visit stamps
-	vorParent []int32 // voronoi: reverse-path parents
-	vorQueue  []int32 // voronoi: BFS queue
+	ballsFlat []int                 // n*maxR cumulative ball sizes (identify)
+	balls     [][]int               // row views into ballsFlat
+	wsums     []int                 // batched-kernel centrality sums (identify)
+	ints      []int                 // median / boundary sort scratch
+	bools     []bool                // electSites maximality flags
+	visitLog  graph.VisitLog        // identify: recorded ball flood for centrality replay
+	vorDist   []int32               // voronoi: per-site BFS distances
+	vorStamp  []int32               // voronoi: visit stamps
+	vorQueue  []int32               // voronoi: BFS queue / dmin frontier
+	vorQueue2 []int32               // voronoi: dmin next frontier (parallel pass)
+	vorRank   []int32               // voronoi: node -> Z-curve rank for site batching
+	vorSites  []int32               // voronoi: Z-sorted site buffer
+	vorCnt    []int32               // voronoi: per-node record counts for arena layout
+	vorVisits [][]graph.PrunedVisit // voronoi: per-batch pruned-flood outputs
+	vorCand   [][]int32             // voronoi: per-chunk frontier candidates (parallel dmin)
+	fld       floodScratch          // coarse/refine: stamped BFS + mark scratch
+	uf        stampedUF             // refine: dense stamped union-find over node IDs
+	pairBuf   []pairSeg             // coarse: (pair, segment node) tuples
 }
 
 // NewExtractor creates a staged engine bound to g. The scratch pools are
@@ -285,7 +294,7 @@ func (voronoiStage) name() string { return "voronoi" }
 
 func (voronoiStage) run(rs *runState) error {
 	rs.res.CellOf, rs.res.DistToSite, rs.res.Records =
-		rs.e.voronoi(rs.res.Sites, rs.p.Alpha, rs.stats)
+		rs.e.voronoi(rs.res.Sites, rs.p.Alpha, rs.p.FloodKernel, rs.stats)
 	return nil
 }
 
@@ -298,7 +307,7 @@ func (coarseStage) name() string { return "coarse" }
 func (coarseStage) run(rs *runState) error {
 	res := rs.res
 	res.SegmentNodes, res.VoronoiNodes = specialNodes(res.Records)
-	res.Edges, res.Coarse = coarse(rs.g, res.Index, res.Records)
+	res.Edges, res.Coarse = rs.e.coarse(res.Index, res.Records)
 	rs.stats.SegmentNodes = len(res.SegmentNodes)
 	rs.stats.VoronoiNodes = len(res.VoronoiNodes)
 	rs.stats.Edges = len(res.Edges)
@@ -312,7 +321,7 @@ func (refineStage) name() string { return "refine" }
 
 func (refineStage) run(rs *runState) error {
 	res := rs.res
-	res.Loops, res.Skeleton = refine(rs.g, rs.p, res.Index, res.Records,
+	res.Loops, res.Skeleton = rs.e.refine(rs.p, res.Index, res.Records,
 		res.CellOf, res.Edges, res.Coarse, rs.stats)
 	rs.stats.FakeLoops = res.NumFakeLoops()
 	rs.stats.GenuineLoops = res.NumGenuineLoops()
@@ -329,6 +338,17 @@ func (boundaryStage) run(rs *runState) error {
 	rs.res.Boundary = rs.e.boundaryByProduct(rs.res.KHopSize)
 	rs.stats.BoundaryNodes = len(rs.res.Boundary)
 	return nil
+}
+
+// floodKernel resolves a kernel request for a flood of radius k and, when
+// the batched kernel is chosen, freezes the graph up front — Freeze mutates
+// the graph and must never run inside parallel workers.
+func (e *Extractor) floodKernel(req graph.Kernel, k int) graph.Kernel {
+	kern := e.g.ResolveKernel(req, k)
+	if kern == graph.KernelBatched {
+		e.g.Freeze()
+	}
+	return kern
 }
 
 // Scratch growth helpers: keep capacity, reallocate only when the bound

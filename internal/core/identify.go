@@ -17,6 +17,12 @@ const (
 	scopeSaturationFraction = 1.0 / 6
 )
 
+// visitLogMaxNodes bounds the networks whose ball-sizing MS-BFS passes also
+// record a settle log for centrality replay. The log holds one (node, bits)
+// event per settle within L hops — O(n*avgBall_L) words — which is a fine
+// trade below this size and a memory hazard above it.
+const visitLogMaxNodes = 1 << 17
+
 // identify runs Phase 1 (Sec. III-A) through a throwaway engine; the staged
 // pipeline calls the Extractor method below so the scratch pools persist.
 func identify(g *graph.Graph, p Params) (khop []int, cent []float64, index []float64, sites []int32, kEff, scopeEff int) {
@@ -48,7 +54,7 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 		st.FloodKernel = kern.String()
 	}
 	e.event("kernel", obs.Str("flood", kern.String()))
-	balls := e.ballSizes(kern, maxR)
+	balls := e.ballSizes(kern, maxR, p.L)
 
 	var medianK int
 	kEff, medianK = effectiveRadius(balls, p.K, kSaturationFraction, &e.ints)
@@ -83,14 +89,20 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 	index = make([]float64, n)
 	round := 0
 	for {
-		e.indexField(p, kern, khop, cent, index)
+		replayed := e.indexField(p, kern, khop, cent, index)
 		sites = e.electSites(index, scopeEff)
 		round++
 		e.event("election", obs.Int("round", round), obs.Int("sites", len(sites)),
 			obs.Int("k", kEff), obs.Int("scope", scopeEff))
 		if st != nil {
 			st.ElectionRounds++
-			st.BFSSweeps += 2 * n
+			if replayed {
+				// The centrality tallies were replayed from the ball-sizing
+				// visit log; only the election swept the graph.
+				st.BFSSweeps += n
+			} else {
+				st.BFSSweeps += 2 * n
+			}
 		}
 		if len(sites) >= minSites {
 			break
@@ -124,8 +136,10 @@ func (e *Extractor) identify(p Params, st *Stats) (khop []int, cent []float64, i
 
 // ballSizes returns the cumulative ball-size matrix sizes[v][r-1] over the
 // engine's pooled buffers; the rows stay valid until the next Extract or
-// Bind call.
-func (e *Extractor) ballSizes(kern graph.Kernel, maxR int) [][]int {
+// Bind call. On batched runs of bounded size the same MS-BFS passes also
+// record the settle log that lets indexField replay the centrality tallies
+// without a second sweep.
+func (e *Extractor) ballSizes(kern graph.Kernel, maxR, logRadius int) [][]int {
 	n := e.g.N()
 	e.ballsFlat = growInts(e.ballsFlat, n*maxR)
 	if cap(e.balls) < n {
@@ -135,27 +149,40 @@ func (e *Extractor) ballSizes(kern graph.Kernel, maxR int) [][]int {
 	for v := 0; v < n; v++ {
 		e.balls[v] = e.ballsFlat[v*maxR : (v+1)*maxR : (v+1)*maxR]
 	}
-	e.g.BallSizesIntoKernel(kern, maxR, e.balls, e.getWalker, e.putWalker)
+	if kern == graph.KernelBatched && n <= visitLogMaxNodes && logRadius <= maxR {
+		e.g.BallSizesIntoKernelLogged(kern, maxR, logRadius, e.balls, &e.visitLog, e.getWalker, e.putWalker)
+	} else {
+		e.visitLog.Invalidate()
+		e.g.BallSizesIntoKernel(kern, maxR, e.balls, e.getWalker, e.putWalker)
+	}
 	return e.balls
 }
 
 // indexField computes the L-centrality and index of every node (Defs. 3-4)
 // into the provided per-node slices. Both kernels compute the same integer
 // sum and count per node before a single float64 division, so the fields
-// are bit-identical across kernels.
-func (e *Extractor) indexField(p Params, kern graph.Kernel, khop []int, cent, index []float64) {
+// are bit-identical across kernels. It reports whether the tallies were
+// replayed from the ball-sizing visit log instead of a fresh graph sweep
+// (the settle events are weight-independent, so the replay stays valid as
+// the election loop reweights khop across rounds).
+func (e *Extractor) indexField(p Params, kern graph.Kernel, khop []int, cent, index []float64) bool {
 	if kern == graph.KernelBatched {
 		// The weighted tallies ride the same MS-BFS passes as ball sizing;
 		// |N_L(v)| comes off the ball matrix (maxR covers L, see identify).
 		n := e.g.N()
 		e.wsums = growInts(e.wsums, n)
 		wsums := e.wsums
-		e.g.BallWeightedSumsInto(kern, p.L, khop, wsums, e.getWalker, e.putWalker)
+		replayed := e.visitLog.Recorded() && e.visitLog.Radius() == p.L
+		if replayed {
+			e.visitLog.WeightedSumsInto(e.g, khop, wsums)
+		} else {
+			e.g.BallWeightedSumsInto(kern, p.L, khop, wsums, e.getWalker, e.putWalker)
+		}
 		for v := 0; v < n; v++ {
 			cent[v] = float64(khop[v]+wsums[v]) / float64(1+e.balls[v][p.L-1])
 			index[v] = (float64(khop[v]) + cent[v]) / 2
 		}
-		return
+		return replayed
 	}
 	graph.ParallelNodes(e.g, e.getWalker, e.putWalker, func(w *graph.Walker, v int) {
 		// c_L(v): average K-hop size over N_L(v) plus v itself. Including v
@@ -170,6 +197,7 @@ func (e *Extractor) indexField(p Params, kern graph.Kernel, khop []int, cent, in
 		cent[v] = float64(sum) / float64(count)
 		index[v] = (float64(khop[v]) + cent[v]) / 2
 	})
+	return false
 }
 
 // electSites applies Def. 5: a node whose index is maximal within its

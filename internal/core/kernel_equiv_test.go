@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+	"sort"
 	"testing"
 
 	"bfskel/internal/graph"
@@ -10,7 +12,9 @@ import (
 // TestExtractKernelEquivalence: a full pipeline run is bit-identical under
 // the walker and the batched MS-BFS flood kernels — every deterministic
 // Result field matches, including the float64 index field (both kernels form
-// the same integer sums before a single division).
+// the same integer sums before a single division), the per-node Voronoi
+// records with their reverse-path parents, and the refined skeleton's full
+// adjacency.
 func TestExtractKernelEquivalence(t *testing.T) {
 	for _, name := range []string{"window", "onehole", "twoholes", "spiral"} {
 		g := nettest.Grid(name, 900, 6.5, 1).Graph
@@ -28,40 +32,118 @@ func TestExtractKernelEquivalence(t *testing.T) {
 			}
 			results[kern] = res
 		}
-		w, b := results[graph.KernelWalker], results[graph.KernelBatched]
-		if w.EffectiveK != b.EffectiveK || w.EffectiveScope != b.EffectiveScope {
-			t.Fatalf("%s: effective radii differ: (%d,%d) vs (%d,%d)",
-				name, w.EffectiveK, w.EffectiveScope, b.EffectiveK, b.EffectiveScope)
-		}
-		for v := range w.KHopSize {
-			if w.KHopSize[v] != b.KHopSize[v] {
-				t.Fatalf("%s: KHopSize[%d] walker=%d batched=%d", name, v, w.KHopSize[v], b.KHopSize[v])
+		requireEqualResults(t, name, results[graph.KernelWalker], results[graph.KernelBatched])
+	}
+}
+
+// TestExtractSchedulerDeterminism: with the batched kernel, results are
+// bit-identical whatever the worker count — the degree-weighted chunk
+// scheduler changes only which goroutine computes what, never the values or
+// their merge order.
+func TestExtractSchedulerDeterminism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range []string{"onehole", "spiral"} {
+		g := nettest.Grid(name, 900, 6.5, 1).Graph
+		p := DefaultParams()
+		p.FloodKernel = graph.KernelBatched
+		results := make(map[int]*Result)
+		for _, procs := range []int{1, 8} {
+			runtime.GOMAXPROCS(procs)
+			res, err := NewExtractor(g).Extract(p)
+			if err != nil {
+				t.Fatalf("%s/procs=%d: %v", name, procs, err)
 			}
-			if w.LCentrality[v] != b.LCentrality[v] {
-				t.Fatalf("%s: LCentrality[%d] walker=%v batched=%v", name, v, w.LCentrality[v], b.LCentrality[v])
+			results[procs] = res
+		}
+		requireEqualResults(t, name+"/procs", results[1], results[8])
+	}
+}
+
+// requireEqualResults asserts deep equality of every deterministic Result
+// field between two runs.
+func requireEqualResults(t *testing.T, name string, w, b *Result) {
+	t.Helper()
+	if w.EffectiveK != b.EffectiveK || w.EffectiveScope != b.EffectiveScope {
+		t.Fatalf("%s: effective radii differ: (%d,%d) vs (%d,%d)",
+			name, w.EffectiveK, w.EffectiveScope, b.EffectiveK, b.EffectiveScope)
+	}
+	for v := range w.KHopSize {
+		if w.KHopSize[v] != b.KHopSize[v] {
+			t.Fatalf("%s: KHopSize[%d] differs: %d vs %d", name, v, w.KHopSize[v], b.KHopSize[v])
+		}
+		if w.LCentrality[v] != b.LCentrality[v] {
+			t.Fatalf("%s: LCentrality[%d] differs: %v vs %v", name, v, w.LCentrality[v], b.LCentrality[v])
+		}
+		if w.Index[v] != b.Index[v] {
+			t.Fatalf("%s: Index[%d] differs: %v vs %v", name, v, w.Index[v], b.Index[v])
+		}
+		if w.CellOf[v] != b.CellOf[v] {
+			t.Fatalf("%s: CellOf[%d] differs: %d vs %d", name, v, w.CellOf[v], b.CellOf[v])
+		}
+		if w.DistToSite[v] != b.DistToSite[v] {
+			t.Fatalf("%s: DistToSite[%d] differs: %d vs %d", name, v, w.DistToSite[v], b.DistToSite[v])
+		}
+		if len(w.Records[v]) != len(b.Records[v]) {
+			t.Fatalf("%s: Records[%d] lengths differ: %d vs %d", name, v, len(w.Records[v]), len(b.Records[v]))
+		}
+		for i := range w.Records[v] {
+			if w.Records[v][i] != b.Records[v][i] {
+				t.Fatalf("%s: Records[%d][%d] differs: %+v vs %+v", name, v, i, w.Records[v][i], b.Records[v][i])
 			}
-			if w.Index[v] != b.Index[v] {
-				t.Fatalf("%s: Index[%d] walker=%v batched=%v", name, v, w.Index[v], b.Index[v])
-			}
-			if w.CellOf[v] != b.CellOf[v] {
-				t.Fatalf("%s: CellOf[%d] walker=%d batched=%d", name, v, w.CellOf[v], b.CellOf[v])
-			}
 		}
-		if !equalInt32s(w.Sites, b.Sites) {
-			t.Fatalf("%s: site sets differ: %d vs %d sites", name, len(w.Sites), len(b.Sites))
+	}
+	if !equalInt32s(w.Sites, b.Sites) {
+		t.Fatalf("%s: site sets differ: %d vs %d sites", name, len(w.Sites), len(b.Sites))
+	}
+	if !equalInt32s(w.SegmentNodes, b.SegmentNodes) {
+		t.Fatalf("%s: segment node sets differ", name)
+	}
+	if !equalInt32s(w.VoronoiNodes, b.VoronoiNodes) {
+		t.Fatalf("%s: Voronoi node sets differ", name)
+	}
+	if !equalInt32s(w.Boundary, b.Boundary) {
+		t.Fatalf("%s: boundary sets differ", name)
+	}
+	if len(w.Edges) != len(b.Edges) {
+		t.Fatalf("%s: edge counts differ: %d vs %d", name, len(w.Edges), len(b.Edges))
+	}
+	for i := range w.Edges {
+		we, be := w.Edges[i], b.Edges[i]
+		if we.Pair != be.Pair || we.Connector != be.Connector ||
+			we.EndNodes != be.EndNodes || we.SegmentCount != be.SegmentCount {
+			t.Fatalf("%s: Edges[%d] differs: %+v vs %+v", name, i, we, be)
 		}
-		if !equalInt32s(w.Boundary, b.Boundary) {
-			t.Fatalf("%s: boundary sets differ", name)
+		if !equalInt32s(we.Path, be.Path) {
+			t.Fatalf("%s: Edges[%d].Path differs", name, i)
 		}
-		if len(w.Edges) != len(b.Edges) {
-			t.Fatalf("%s: edge counts differ: %d vs %d", name, len(w.Edges), len(b.Edges))
+	}
+	requireEqualSkeletons(t, name+": coarse", w.Coarse, b.Coarse)
+	requireEqualSkeletons(t, name+": skeleton", w.Skeleton, b.Skeleton)
+	if len(w.Loops) != len(b.Loops) {
+		t.Fatalf("%s: loop counts differ: %d vs %d", name, len(w.Loops), len(b.Loops))
+	}
+	for i := range w.Loops {
+		wl, bl := w.Loops[i], b.Loops[i]
+		if wl.Kind != bl.Kind || wl.Hub != bl.Hub || !equalInt32s(wl.Sites, bl.Sites) {
+			t.Fatalf("%s: Loops[%d] differs: %+v vs %+v", name, i, wl, bl)
 		}
-		if !equalInt32s(w.Skeleton.Nodes(), b.Skeleton.Nodes()) {
-			t.Fatalf("%s: skeleton node sets differ", name)
-		}
-		if w.NumFakeLoops() != b.NumFakeLoops() || w.NumGenuineLoops() != b.NumGenuineLoops() {
-			t.Fatalf("%s: loop verdicts differ: fake %d/%d genuine %d/%d", name,
-				w.NumFakeLoops(), b.NumFakeLoops(), w.NumGenuineLoops(), b.NumGenuineLoops())
+	}
+}
+
+// requireEqualSkeletons asserts two skeletons agree on nodes and adjacency.
+func requireEqualSkeletons(t *testing.T, name string, w, b *Skeleton) {
+	t.Helper()
+	if !equalInt32s(w.Nodes(), b.Nodes()) {
+		t.Fatalf("%s node sets differ", name)
+	}
+	for _, v := range w.Nodes() {
+		wn := append([]int32(nil), w.Neighbors(v)...)
+		bn := append([]int32(nil), b.Neighbors(v)...)
+		sort.Slice(wn, func(i, j int) bool { return wn[i] < wn[j] })
+		sort.Slice(bn, func(i, j int) bool { return bn[i] < bn[j] })
+		if !equalInt32s(wn, bn) {
+			t.Fatalf("%s adjacency differs at node %d: %v vs %v", name, v, wn, bn)
 		}
 	}
 }

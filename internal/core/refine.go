@@ -1,16 +1,23 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"bfskel/internal/graph"
 )
 
+// refine runs Phase 4 through a throwaway engine; the staged pipeline calls
+// the Extractor method below so the scratch pools persist.
+func refine(g *graph.Graph, p Params, index []float64, records [][]SiteDist,
+	cellOf []int32, edges []SiteEdge, coarseSkel *Skeleton, st *Stats) ([]Loop, *Skeleton) {
+	return NewExtractor(g).refine(p, index, records, cellOf, edges, coarseSkel, st)
+}
+
 // refine runs Phase 4 (Sec. III-D): identify skeleton loops, decide which
 // are genuine (caused by holes) and which are fake (caused by three or more
 // mutually adjacent Voronoi cells or by redundant parallel connections),
-// delete the fake ones by re-skeletonizing their interior through a hub
-// node, and finally prune short leaf branches.
+// delete the fake ones, and finally prune short leaf branches.
 //
 // Loop classification follows the paper's end-node flooding: every skeleton
 // edge carries two end nodes (the extremes of its segment-node band). For a
@@ -20,14 +27,14 @@ import (
 // "end node loop" stitched from these gaps is short — the loop is fake.
 // Around a hole the end nodes lie on the hole boundary and the stitched
 // loop has to travel the hole perimeter — the loop is genuine.
-func refine(g *graph.Graph, p Params, index []float64, records [][]SiteDist,
+func (e *Extractor) refine(p Params, index []float64, records [][]SiteDist,
 	cellOf []int32, edges []SiteEdge, coarseSkel *Skeleton, st *Stats) ([]Loop, *Skeleton) {
 
-	w := newRefiner(g, p, index, records, cellOf)
-	for _, e := range edges {
+	w := e.newRefiner(p, index, records, cellOf)
+	for _, se := range edges {
 		w.edges = append(w.edges, wEdge{
-			a: e.Pair.A, b: e.Pair.B, path: e.Path,
-			connector: e.Connector, ends: e.EndNodes, segs: e.SegmentCount,
+			a: se.Pair.A, b: se.Pair.B, path: se.Path,
+			connector: se.Connector, ends: se.EndNodes, segs: se.SegmentCount,
 		})
 	}
 	w.dropRedundantParallels()
@@ -42,9 +49,9 @@ func refine(g *graph.Graph, p Params, index []float64, records [][]SiteDist,
 }
 
 // wEdge is a working (site-level) skeleton edge; refinement deletes some
-// and appends hub-star replacements.
+// of them.
 type wEdge struct {
-	a, b      int32 // site (or hub) node IDs
+	a, b      int32 // site node IDs
 	path      []int32
 	connector int32
 	ends      [2]int32
@@ -52,8 +59,12 @@ type wEdge struct {
 	deleted   bool
 }
 
-// refiner carries the mutable state of Phase 4.
+// refiner carries the mutable state of Phase 4. The bounded floods of the
+// phase (floodFrom, hopDistWithin, the end-node clustering) run over the
+// owning engine's stamped flood scratch, so the hundreds of small floods
+// allocate nothing.
 type refiner struct {
+	e       *Extractor
 	g       *graph.Graph
 	p       Params
 	index   []float64
@@ -61,25 +72,22 @@ type refiner struct {
 	cellOf  []int32
 	edges   []wEdge
 	loops   []Loop
-	// Stamped BFS scratch shared by every bounded flood of the phase
-	// (floodFrom, hopDistWithin): allocated once per refine call, so the
-	// hundreds of small floods stop building a hash map each.
-	dist  []int32
-	stamp []int32
-	epoch int32
-	queue []int32
 	// debugf, when non-nil, receives a trace of every classification.
 	debugf func(format string, args ...any)
 }
 
-// newRefiner sets up the phase state, sizing the flood scratch to the graph.
+// newRefiner sets up the phase state over a throwaway engine, preserving
+// the historical constructor shape for the debug harness.
 func newRefiner(g *graph.Graph, p Params, index []float64, records [][]SiteDist, cellOf []int32) *refiner {
-	n := g.N()
+	return NewExtractor(g).newRefiner(p, index, records, cellOf)
+}
+
+// newRefiner sets up the phase state, sizing the engine's flood scratch to
+// the graph.
+func (e *Extractor) newRefiner(p Params, index []float64, records [][]SiteDist, cellOf []int32) *refiner {
+	e.fld.ensure(e.g.N())
 	return &refiner{
-		g: g, p: p, index: index, records: records, cellOf: cellOf,
-		dist:  make([]int32, n),
-		stamp: make([]int32, n),
-		queue: make([]int32, 0, n),
+		e: e, g: e.g, p: p, index: index, records: records, cellOf: cellOf,
 	}
 }
 
@@ -101,12 +109,40 @@ func (w *refiner) build() *Skeleton {
 // site pair whose connectors are close to each other — artifacts of a
 // bisector band shattering into several components under sparse sampling.
 func (w *refiner) dropRedundantParallels() {
-	byPair := make(map[SitePair][]int)
-	for i, e := range w.edges {
-		byPair[MakeSitePair(e.a, e.b)] = append(byPair[MakeSitePair(e.a, e.b)], i)
+	type pairIdx struct {
+		pair SitePair
+		i    int
 	}
+	tuples := make([]pairIdx, 0, len(w.edges))
+	for i, e := range w.edges {
+		tuples = append(tuples, pairIdx{pair: MakeSitePair(e.a, e.b), i: i})
+	}
+	// Sort by (A, B, i) and walk the groups. Each group only examines and
+	// deletes its own pair's edges, so the sorted group order yields the
+	// same outcomes as any other order — but deterministically.
+	sort.Slice(tuples, func(a, b int) bool {
+		if tuples[a].pair.A != tuples[b].pair.A {
+			return tuples[a].pair.A < tuples[b].pair.A
+		}
+		if tuples[a].pair.B != tuples[b].pair.B {
+			return tuples[a].pair.B < tuples[b].pair.B
+		}
+		return tuples[a].i < tuples[b].i
+	})
 	nearLimit := 2*w.p.Alpha + 3
-	for _, idxs := range byPair {
+	kern := w.e.floodKernel(w.p.FloodKernel, int(nearLimit))
+	var idxs []int
+	for lo := 0; lo < len(tuples); {
+		hi := lo
+		pr := tuples[lo].pair
+		for hi < len(tuples) && tuples[hi].pair == pr {
+			hi++
+		}
+		idxs = idxs[:0]
+		for _, t := range tuples[lo:hi] {
+			idxs = append(idxs, t.i)
+		}
+		lo = hi
 		if len(idxs) < 2 {
 			continue
 		}
@@ -118,19 +154,37 @@ func (w *refiner) dropRedundantParallels() {
 			}
 			return w.edges[idxs[a]].connector < w.edges[idxs[b]].connector
 		})
-		kept := []int{idxs[0]}
-		for _, ei := range idxs[1:] {
+		// Under the batched kernel one 64-wide flood yields the exact
+		// pairwise within-nearLimit matrix for the whole group; the
+		// keep/delete scan below reads the same predicate either way.
+		var reach []uint64
+		if kern == graph.KernelBatched && len(idxs) <= 64 {
+			conns := make([]int32, len(idxs))
+			for j, ei := range idxs {
+				conns[j] = w.edges[ei].connector
+			}
+			reach = make([]uint64, len(idxs))
+			wk := w.e.getWalker()
+			wk.BoundedReach(conns, nearLimit, conns, reach)
+			w.e.putWalker(wk)
+		}
+		kept := []int{0}
+		for a := 1; a < len(idxs); a++ {
 			redundant := false
 			for _, kj := range kept {
-				if w.hopDistWithin(w.edges[ei].connector, w.edges[kj].connector, nearLimit) {
-					redundant = true
+				if reach != nil {
+					redundant = reach[a]&(uint64(1)<<uint(kj)) != 0
+				} else {
+					redundant = w.hopDistWithin(w.edges[idxs[a]].connector, w.edges[idxs[kj]].connector, nearLimit)
+				}
+				if redundant {
 					break
 				}
 			}
 			if redundant {
-				w.edges[ei].deleted = true
+				w.edges[idxs[a]].deleted = true
 			} else {
-				kept = append(kept, ei)
+				kept = append(kept, a)
 			}
 		}
 	}
@@ -153,83 +207,142 @@ func (w *refiner) classifyLoops() {
 		w.debugf("junction radius=%d", radius)
 	}
 
-	// Gather the end nodes of all active edges.
+	// Gather the end nodes of all active edges; endsOf maps each edge to
+	// its one or two entries.
 	type endRef struct {
 		edge int
 		node int32
 	}
 	var ends []endRef
+	endsOf := make([][2]int32, len(w.edges))
 	for i, e := range w.edges {
+		endsOf[i] = [2]int32{-1, -1}
 		if e.deleted {
 			continue
 		}
+		endsOf[i][0] = int32(len(ends))
 		ends = append(ends, endRef{edge: i, node: e.ends[0]})
 		if e.ends[1] != e.ends[0] {
+			endsOf[i][1] = int32(len(ends))
 			ends = append(ends, endRef{edge: i, node: e.ends[1]})
+		} else {
+			endsOf[i][1] = endsOf[i][0]
 		}
 	}
 
 	// Cluster end nodes: each floods up to the junction radius without
-	// crossing the skeleton; end nodes whose floods touch are merged.
+	// crossing the skeleton; end nodes whose floods touch are merged. The
+	// merge is claim-based: the first end to touch a graph node becomes its
+	// representative (the engine's mark scratch), and every later toucher
+	// unions with it — the same partition as uniting all pairwise overlaps,
+	// since all touchers of a node connect through its representative.
+	// Claim order varies between the walker and batched realisations, so
+	// nothing downstream may depend on union-find root identities; clusters
+	// are keyed by their largest member index instead (see below).
 	uf := newUnionFind(len(ends))
-	reachedBy := make(map[int32][]int) // graph node -> end indices
-	for i, er := range ends {
-		for _, v := range w.floodFrom(er.node, radius, skel) {
-			for _, j := range reachedBy[v] {
-				uf.union(i, j)
-			}
-			reachedBy[v] = append(reachedBy[v], i)
+	fld := &w.e.fld
+	fld.beginMark()
+	claim := func(i int, v int32) {
+		if rep, ok := fld.marked(v); ok {
+			uf.union(i, int(rep))
+		} else {
+			fld.mark(v, int32(i))
 		}
 	}
-	clusters := make(map[int][]endRef)
 	for i, er := range ends {
-		r := uf.find(i)
-		clusters[r] = append(clusters[r], er)
+		claim(i, er.node)
 	}
+	kern := w.e.floodKernel(w.p.FloodKernel, int(radius))
+	if kern == graph.KernelBatched {
+		// 64 ends per bit-parallel flood; the skeleton mask blocks
+		// expansion exactly like floodFrom's Contains check.
+		wk := w.e.getWalker()
+		srcs := make([]int32, 0, 64)
+		for lo := 0; lo < len(ends); lo += 64 {
+			hi := lo + 64
+			if hi > len(ends) {
+				hi = len(ends)
+			}
+			srcs = srcs[:0]
+			for _, er := range ends[lo:hi] {
+				srcs = append(srcs, er.node)
+			}
+			wk.BoundedBatch(srcs, radius, skel.isOn, func(v int32, bw uint64) {
+				for b := bw; b != 0; b &= b - 1 {
+					claim(lo+bits.TrailingZeros64(b), v)
+				}
+			})
+		}
+		w.e.putWalker(wk)
+	} else {
+		for i, er := range ends {
+			for _, v := range w.floodFrom(er.node, radius, skel) {
+				claim(i, v)
+			}
+		}
+	}
+
+	// Resolve clusters. The canonical cluster key is the largest member
+	// index: it is a pure function of the partition (unlike the union-find
+	// root, which depends on union order), and it equals the root the
+	// historical serial unions produced, so cluster processing order — which
+	// decides which shared edges get deleted first — is unchanged.
+	root := make([]int, len(ends))
+	size := make([]int, len(ends))
+	maxMember := make([]int, len(ends))
+	for i := range ends {
+		root[i] = uf.find(i)
+	}
+	for i := range ends {
+		r := root[i]
+		size[r]++
+		maxMember[r] = i // ascending i: the last write is the max
+	}
+	var order []int // roots of multi-member clusters, by max member
+	for i := range ends {
+		if root[i] == i && size[i] > 1 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return maxMember[order[a]] < maxMember[order[b]] })
 
 	// An edge is "inter-junction" when both of its end nodes sit in
 	// (possibly different) clusters of size > 1 — it crosses open space
 	// between meeting points rather than reaching a boundary.
-	clusterOf := make(map[endKey]int)
-	clusterSize := make(map[int]int)
-	for r, members := range clusters {
-		for _, er := range members {
-			clusterOf[endKey{er.edge, er.node}] = r
-			clusterSize[r] = len(members)
-		}
-	}
 	interJunction := func(ei int) bool {
-		e := w.edges[ei]
-		r0, ok0 := clusterOf[endKey{ei, e.ends[0]}]
-		r1, ok1 := clusterOf[endKey{ei, e.ends[1]}]
-		return ok0 && ok1 && clusterSize[r0] > 1 && clusterSize[r1] > 1
+		i0, i1 := endsOf[ei][0], endsOf[ei][1]
+		if i0 < 0 {
+			return false
+		}
+		return size[root[i0]] > 1 && size[root[i1]] > 1
 	}
 
 	// Per cluster, break every cycle among its edges: add edges to a
 	// spanning forest in keep-priority order; edges closing a cycle are
 	// fake and get deleted.
-	roots := make([]int, 0, len(clusters))
-	for r, members := range clusters {
-		if len(members) > 1 {
-			roots = append(roots, r)
-		}
-	}
-	sort.Ints(roots)
-	for _, r := range roots {
-		var edgeIdx []int
-		seen := make(map[int]bool)
-		siteSet := make(map[int32]bool)
-		for _, er := range clusters[r] {
-			if !seen[er.edge] && !w.edges[er.edge].deleted {
-				seen[er.edge] = true
-				edgeIdx = append(edgeIdx, er.edge)
-				siteSet[w.edges[er.edge].a] = true
-				siteSet[w.edges[er.edge].b] = true
+	edgeMark := make([]int32, len(w.edges))
+	var clusterStamp int32
+	var edgeIdx []int
+	var clusterSites []int32
+	for _, r := range order {
+		clusterStamp++
+		edgeIdx = edgeIdx[:0]
+		clusterSites = clusterSites[:0]
+		for i := range ends {
+			if root[i] != r {
+				continue
+			}
+			ei := ends[i].edge
+			if edgeMark[ei] != clusterStamp && !w.edges[ei].deleted {
+				edgeMark[ei] = clusterStamp
+				edgeIdx = append(edgeIdx, ei)
+				clusterSites = append(clusterSites, w.edges[ei].a, w.edges[ei].b)
 			}
 		}
 		if len(edgeIdx) < 3 {
 			continue // fewer than three edges cannot close a junction cycle
 		}
+		clusterSites = sortedSiteList(clusterSites)
 		// Keep-priority: boundary-reaching edges first, then by descending
 		// connector index, then by ID for determinism.
 		sort.Slice(edgeIdx, func(a, b int) bool {
@@ -244,7 +357,8 @@ func (w *refiner) classifyLoops() {
 			}
 			return ea < eb
 		})
-		forest := newUnionFindSparse()
+		forest := &w.e.uf
+		forest.reset(w.g.N())
 		for _, ei := range edgeIdx {
 			if forest.union(w.edges[ei].a, w.edges[ei].b) {
 				continue
@@ -253,11 +367,11 @@ func (w *refiner) classifyLoops() {
 			w.edges[ei].deleted = true
 			if w.debugf != nil {
 				w.debugf("fake junction loop at cluster %d: deleting edge %d (%d-%d)",
-					r, ei, w.edges[ei].a, w.edges[ei].b)
+					maxMember[r], ei, w.edges[ei].a, w.edges[ei].b)
 			}
 			w.loops = append(w.loops, Loop{
 				Kind:       LoopFake,
-				Sites:      sortedSites(siteSet),
+				Sites:      append([]int32(nil), clusterSites...),
 				Hub:        w.edges[ei].connector,
 				EndLoopLen: 0,
 			})
@@ -274,12 +388,6 @@ func (w *refiner) classifyLoops() {
 			})
 		}
 	}
-}
-
-// endKey identifies one end of one edge.
-type endKey struct {
-	edge int
-	node int32
 }
 
 // junctionRadius is the flood radius for end-node clustering. Junction
@@ -311,39 +419,44 @@ func (w *refiner) junctionRadius() int32 {
 
 // floodFrom returns the nodes within the given hop radius of src, not
 // entering skeleton nodes (the source is admitted even if on the skeleton).
-// The returned slice aliases the refiner's queue scratch and is only valid
+// The returned slice aliases the engine's queue scratch and is only valid
 // until the next flood.
 func (w *refiner) floodFrom(src int32, radius int32, skel *Skeleton) []int32 {
-	w.epoch++
-	w.stamp[src] = w.epoch
-	w.dist[src] = 0
-	w.queue = w.queue[:0]
-	w.queue = append(w.queue, src)
-	for head := 0; head < len(w.queue); head++ {
-		u := w.queue[head]
-		du := w.dist[u]
+	fld := &w.e.fld
+	fld.epoch++
+	epoch := fld.epoch
+	dist, stamp := fld.dist, fld.stamp
+	stamp[src] = epoch
+	dist[src] = 0
+	queue := fld.queue[:0]
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
 		if du >= radius {
 			continue
 		}
 		for _, v := range w.g.Neighbors(int(u)) {
-			if w.stamp[v] == w.epoch {
+			if stamp[v] == epoch {
 				continue
 			}
 			if skel.Contains(v) {
 				continue
 			}
-			w.stamp[v] = w.epoch
-			w.dist[v] = du + 1
-			w.queue = append(w.queue, v)
+			stamp[v] = epoch
+			dist[v] = du + 1
+			queue = append(queue, v)
 		}
 	}
-	return w.queue
+	fld.queue = queue
+	return queue
 }
 
 // nonTreeEdges returns, for the current site-level graph, the edges outside
 // a BFS spanning forest — one per independent cycle.
 func (w *refiner) nonTreeEdges() []int {
-	uf := newUnionFindSparse()
+	uf := &w.e.uf
+	uf.reset(w.g.N())
 	var nontree []int
 	for i, e := range w.edges {
 		if e.deleted {
@@ -401,100 +514,61 @@ func (w *refiner) minimalCycle(ei int) []int {
 
 // cycleSites lists the distinct site vertices of a cycle.
 func (w *refiner) cycleSites(cycle []int) []int32 {
-	set := make(map[int32]bool, len(cycle))
+	out := make([]int32, 0, 2*len(cycle))
 	for _, ei := range cycle {
-		set[w.edges[ei].a] = true
-		set[w.edges[ei].b] = true
+		out = append(out, w.edges[ei].a, w.edges[ei].b)
 	}
-	return sortedSites(set)
+	return sortedSiteList(out)
+}
+
+// sortedSiteList sorts the list ascending and removes duplicates in place.
+func sortedSiteList(list []int32) []int32 {
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	dedup := list[:0]
+	var prev int32 = -1
+	for _, s := range list {
+		if len(dedup) == 0 || s != prev {
+			dedup = append(dedup, s)
+			prev = s
+		}
+	}
+	return dedup
 }
 
 // hopDistWithin reports whether dst is within limit hops of src, over the
-// refiner's stamped scratch.
+// engine's stamped scratch.
 func (w *refiner) hopDistWithin(src, dst int32, limit int32) bool {
 	if src == dst {
 		return true
 	}
-	w.epoch++
-	w.stamp[src] = w.epoch
-	w.dist[src] = 0
-	w.queue = w.queue[:0]
-	w.queue = append(w.queue, src)
-	for head := 0; head < len(w.queue); head++ {
-		u := w.queue[head]
-		du := w.dist[u]
+	fld := &w.e.fld
+	fld.epoch++
+	epoch := fld.epoch
+	dist, stamp := fld.dist, fld.stamp
+	stamp[src] = epoch
+	dist[src] = 0
+	queue := fld.queue[:0]
+	queue = append(queue, src)
+	defer func() { fld.queue = queue[:0] }()
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
 		if du >= limit {
 			continue
 		}
 		for _, v := range w.g.Neighbors(int(u)) {
-			if w.stamp[v] == w.epoch {
+			if stamp[v] == epoch {
 				continue
 			}
 			if v == dst {
 				return true
 			}
-			w.stamp[v] = w.epoch
-			w.dist[v] = du + 1
-			w.queue = append(w.queue, v)
-		}
-	}
-	return false
-}
-
-// hubPath builds the replacement path from the hub to a site: via the hub's
-// own reverse path when recorded, otherwise via BFS restricted to the
-// group's cells, falling back to an unrestricted BFS.
-func hubPath(g *graph.Graph, records [][]SiteDist, cellOf []int32, sites map[int32]bool, hub, site int32) []int32 {
-	if _, ok := recordFor(records, hub, site); ok {
-		return pathToSite(records, hub, site)
-	}
-	if path := bfsPath(g, hub, site, func(v int32) bool { return sites[cellOf[v]] }); path != nil {
-		return path
-	}
-	return bfsPath(g, hub, site, nil)
-}
-
-// bfsPath returns a shortest path from src to dst visiting only nodes
-// allowed by the filter (nil means all); nil result if unreachable.
-func bfsPath(g *graph.Graph, src, dst int32, allowed func(int32) bool) []int32 {
-	parent := map[int32]int32{src: src}
-	queue := []int32{src}
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		if u == dst {
-			var rev []int32
-			for v := dst; ; v = parent[v] {
-				rev = append(rev, v)
-				if parent[v] == v {
-					break
-				}
-			}
-			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-				rev[i], rev[j] = rev[j], rev[i]
-			}
-			return rev
-		}
-		for _, v := range g.Neighbors(int(u)) {
-			if _, seen := parent[v]; seen {
-				continue
-			}
-			if v != dst && allowed != nil && !allowed(v) {
-				continue
-			}
-			parent[v] = u
+			stamp[v] = epoch
+			dist[v] = du + 1
 			queue = append(queue, v)
 		}
 	}
-	return nil
-}
-
-func sortedSites(m map[int32]bool) []int32 {
-	out := make([]int32, 0, len(m))
-	for s := range m {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return false
 }
 
 // pruneThreshold resolves the branch-pruning length.
@@ -581,38 +655,6 @@ func (u *unionFind) union(a, b int) {
 	if ra != rb {
 		u.parent[rb] = ra
 	}
-}
-
-// unionFindSparse is a union-find over int32 keys created on demand; union
-// reports whether the two elements were in different sets (i.e. the union
-// did merge).
-type unionFindSparse struct {
-	parent map[int32]int32
-}
-
-func newUnionFindSparse() *unionFindSparse {
-	return &unionFindSparse{parent: make(map[int32]int32)}
-}
-
-func (u *unionFindSparse) find(x int32) int32 {
-	if _, ok := u.parent[x]; !ok {
-		u.parent[x] = x
-		return x
-	}
-	for u.parent[x] != x {
-		u.parent[x] = u.parent[u.parent[x]] // path halving
-		x = u.parent[x]
-	}
-	return x
-}
-
-func (u *unionFindSparse) union(a, b int32) bool {
-	ra, rb := u.find(a), u.find(b)
-	if ra == rb {
-		return false
-	}
-	u.parent[rb] = ra
-	return true
 }
 
 // PruneLeafBranches removes leaf branches shorter than minLen hops from any

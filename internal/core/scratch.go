@@ -1,0 +1,107 @@
+package core
+
+// Epoch-stamped flat scratch shared by the coarse and refine stages. The
+// hundreds of small bounded floods and union-finds those stages run used to
+// build a hash map each; with n-sized dist/stamp arrays a "cleared" state is
+// one epoch increment, so per-flood cost is proportional to the flooded
+// region and per-extraction allocation is zero once the pools are warm.
+
+// floodScratch is per-node BFS state (dist/stamp/queue) plus an independent
+// mark set (markStamp/markVal) for membership tests and node→value claims.
+// Both stamps start over when the backing arrays are (re)allocated, so a
+// fresh array's zeros never collide with a live epoch.
+type floodScratch struct {
+	dist  []int32
+	stamp []int32
+	epoch int32
+	queue []int32
+
+	markStamp []int32
+	markVal   []int32
+	markEpoch int32
+}
+
+// stampWrap bounds the epoch counters; far beyond any realistic extraction
+// count, it keeps increments from ever wrapping into a stale stamp.
+const stampWrap = 1 << 30
+
+// ensure sizes the scratch to n nodes, invalidating all stamps when the
+// arrays are replaced or an epoch counter nears wrap-around.
+func (f *floodScratch) ensure(n int) {
+	if cap(f.dist) < n || f.epoch >= stampWrap || f.markEpoch >= stampWrap {
+		f.dist = make([]int32, n)
+		f.stamp = make([]int32, n)
+		f.markStamp = make([]int32, n)
+		f.markVal = make([]int32, n)
+		f.epoch, f.markEpoch = 0, 0
+	}
+	f.dist = f.dist[:n]
+	f.stamp = f.stamp[:n]
+	f.markStamp = f.markStamp[:n]
+	f.markVal = f.markVal[:n]
+	if cap(f.queue) < n {
+		f.queue = make([]int32, 0, n)
+	}
+}
+
+// beginMark starts a fresh (empty) mark set.
+func (f *floodScratch) beginMark() { f.markEpoch++ }
+
+// mark adds v to the mark set with an associated value.
+func (f *floodScratch) mark(v int32, val int32) {
+	f.markStamp[v] = f.markEpoch
+	f.markVal[v] = val
+}
+
+// marked reports membership and the associated value.
+func (f *floodScratch) marked(v int32) (int32, bool) {
+	if f.markStamp[v] == f.markEpoch {
+		return f.markVal[v], true
+	}
+	return 0, false
+}
+
+// stampedUF is a dense union-find over node IDs whose "all singletons"
+// reset is one epoch increment: an element is initialized lazily the first
+// time find touches it in the current epoch. It replaces the map-backed
+// sparse union-find in the refine stage's forest and cycle tests.
+type stampedUF struct {
+	parent []int32
+	stamp  []int32
+	epoch  int32
+}
+
+// reset clears the structure to all-singletons over 0..n-1.
+func (u *stampedUF) reset(n int) {
+	if cap(u.parent) < n || u.epoch >= stampWrap {
+		u.parent = make([]int32, n)
+		u.stamp = make([]int32, n)
+		u.epoch = 0
+	}
+	u.parent = u.parent[:n]
+	u.stamp = u.stamp[:n]
+	u.epoch++
+}
+
+func (u *stampedUF) find(x int32) int32 {
+	if u.stamp[x] != u.epoch {
+		u.stamp[x] = u.epoch
+		u.parent[x] = x
+		return x
+	}
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b; it reports whether they were distinct.
+func (u *stampedUF) union(a, b int32) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[rb] = ra
+	return true
+}

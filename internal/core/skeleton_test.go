@@ -221,8 +221,9 @@ func TestParamsValidate(t *testing.T) {
 	}
 }
 
-func TestUnionFindSparse(t *testing.T) {
-	uf := newUnionFindSparse()
+func TestStampedUnionFind(t *testing.T) {
+	var uf stampedUF
+	uf.reset(8)
 	if !uf.union(1, 2) {
 		t.Error("first union should merge")
 	}
@@ -236,6 +237,14 @@ func TestUnionFindSparse(t *testing.T) {
 	uf.union(2, 3)
 	if uf.find(1) != uf.find(4) {
 		t.Error("transitive union broken")
+	}
+	// An epoch reset must return every element to a singleton.
+	uf.reset(8)
+	if uf.find(1) == uf.find(2) {
+		t.Error("reset did not clear prior unions")
+	}
+	if !uf.union(5, 6) {
+		t.Error("post-reset union should merge")
 	}
 }
 

@@ -92,6 +92,18 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return false
 }
 
+// BatchOrder exposes the Z-curve node permutation recorded by Build, or nil
+// when none is set (then ID order stands in). Callers that group work into
+// 64-wide MS-BFS batches (the core Voronoi stage sorts its sites along it)
+// read this to co-locate sources; the slice is shared and must not be
+// modified.
+func (g *Graph) BatchOrder() []int32 {
+	if len(g.batchOrder) == g.N() {
+		return g.batchOrder
+	}
+	return nil
+}
+
 // SortAdjacency sorts every adjacency list and freezes the graph into its
 // CSR form; Build calls it so iteration order (and thus every downstream
 // tie-break) is deterministic.

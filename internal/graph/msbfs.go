@@ -110,15 +110,18 @@ func newMSBFSScratch(n int) *msbfsScratch {
 // at hop d to rows[i][min(d-1, len(rows[i])-1)] — per-radius tallies for
 // k-wide rows, a running total for width-1 rows — and, when weight is
 // non-nil, adds weight[v] for every reached v to wsums[i]. Either rows or
-// wsums may be nil. Returns the total number of (source, node) visits, the
-// same tally the walker's visited counter produces.
+// wsums may be nil. Settle events within logRadius hops are appended to log
+// as (node, source-bits) pairs — a replayable record of which sources
+// reached which nodes — and the grown log is returned alongside the total
+// number of (source, node) visits, the same tally the walker's visited
+// counter produces. Pass logRadius 0 to disable logging.
 //
 // The scratch arrays must be all-zero on entry; run re-zeroes everything it
 // touched before returning, so the cost of repeated runs is proportional to
 // the flooded region only.
-func (s *msbfsScratch) run(g *Graph, k int, sources []int32, rows [][]int, weight []int, wsums []int) int {
+func (s *msbfsScratch) run(g *Graph, k int, sources []int32, rows [][]int, weight []int, wsums []int, log []VisitEvent, logRadius int) ([]VisitEvent, int) {
 	if k <= 0 || len(sources) == 0 {
-		return 0
+		return log, 0
 	}
 	offsets, targets, ok := g.csr()
 	if !ok || len(sources) > msbfsBatch {
@@ -184,6 +187,9 @@ func (s *msbfsScratch) run(g *Graph, k int, sources []int32, rows [][]int, weigh
 			frontier[v] = newBits
 			cur = append(cur, v)
 			visited += bits.OnesCount64(newBits)
+			if d <= logRadius {
+				log = append(log, VisitEvent{V: v, Bits: newBits})
+			}
 			if weight == nil {
 				for b := newBits; b != 0; b &= b - 1 {
 					cnt[bits.TrailingZeros64(b)]++
@@ -218,19 +224,26 @@ func (s *msbfsScratch) run(g *Graph, k int, sources []int32, rows [][]int, weigh
 	}
 	s.cur = cur[:0]
 	s.touched = touched[:0]
-	return visited
+	return log, visited
 }
 
 // runBatch floods one batch through the walker's MS-BFS scratch, crediting
 // the work to the walker's counters so pooled-engine observability sees the
 // batched kernel exactly like walker sweeps.
 func (w *Walker) runBatch(k int, sources []int32, rows [][]int, weight []int, wsums []int) {
+	w.runBatchLogged(k, sources, rows, weight, wsums, nil, 0)
+}
+
+// runBatchLogged is runBatch with the settle log threaded through; the grown
+// log slice is returned so per-batch log buffers can live outside the walker.
+func (w *Walker) runBatchLogged(k int, sources []int32, rows [][]int, weight []int, wsums []int, log []VisitEvent, logRadius int) []VisitEvent {
 	if w.ms == nil {
 		w.ms = newMSBFSScratch(w.g.N())
 	}
-	visited := w.ms.run(w.g, k, sources, rows, weight, wsums)
+	log, visited := w.ms.run(w.g, k, sources, rows, weight, wsums, log, logRadius)
 	w.s.sweeps += len(sources)
 	w.s.visited += visited
+	return log
 }
 
 // batchSource maps a batch slot to its source node: the i-th node of the

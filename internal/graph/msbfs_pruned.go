@@ -1,0 +1,249 @@
+// Batched variants of the pruned and bounded floods used outside the
+// identify stage: the Voronoi stage's per-site slack-pruned BFS and the
+// refine stage's radius-bounded floods. Same bit-parallel frontier scheme as
+// msbfs.go, with two twists: a per-(node, level) admission bound (the
+// Voronoi dmin+alpha prune — the check depends only on the node and the
+// level, never on which source is flooding, so batching cannot change which
+// nodes any single source visits), and a min-ID parent choice resolved by
+// rescanning each settled node's sorted adjacency against the still-intact
+// previous-level frontier.
+package graph
+
+import "math/bits"
+
+// PrunedVisit is one settle of a slack-pruned batched flood: source Src
+// reached node V at hop distance D through Parent, the lowest-ID neighbor
+// of V at distance D-1 within Src's pruned visited set. Seeds (D=0) are not
+// emitted.
+type PrunedVisit struct {
+	V      int32
+	Src    int32
+	D      int32
+	Parent int32
+}
+
+// PrunedBatch floods up to 64 sources simultaneously under the admission
+// rule d <= bound[v]+slack (nodes with bound[v] < 0 admit nothing): exactly
+// the Voronoi stage's per-site pruned flood, batched. Every admitted settle
+// is appended to buf as a PrunedVisit whose Parent is the canonical min-ID
+// predecessor; the grown buffer is returned. Requires a frozen graph and
+// sorted adjacency (Build guarantees both).
+func (w *Walker) PrunedBatch(sources []int32, bound []int32, slack int32, buf []PrunedVisit) []PrunedVisit {
+	if len(sources) == 0 {
+		return buf
+	}
+	g := w.g
+	offsets, targets, ok := g.csr()
+	if !ok || len(sources) > msbfsBatch {
+		panic("graph: pruned batch kernel needs a frozen graph and at most 64 sources")
+	}
+	if w.ms == nil {
+		w.ms = newMSBFSScratch(g.N())
+	}
+	s := w.ms
+	seen, frontier, next := s.seen, s.frontier, s.next
+	cur := s.cur[:0]
+	touched := s.touched[:0]
+	for i, src := range sources {
+		bit := uint64(1) << uint(i)
+		if seen[src] == 0 {
+			touched = append(touched, src)
+		}
+		if frontier[src] == 0 {
+			cur = append(cur, src)
+		}
+		seen[src] |= bit
+		frontier[src] |= bit
+	}
+	emitted := 0
+	for d := int32(1); len(cur) > 0; d++ {
+		nxt := s.nxt[:0]
+		for _, u := range cur {
+			f := frontier[u]
+			for _, v := range targets[offsets[u]:offsets[u+1]] {
+				if b := bound[v]; b < 0 || d > b+slack {
+					continue
+				}
+				add := f &^ seen[v]
+				if add == 0 {
+					continue
+				}
+				old := next[v]
+				if nv := old | add; nv != old {
+					if old == 0 {
+						nxt = append(nxt, v)
+					}
+					next[v] = nv
+				}
+			}
+		}
+		s.nxt = nxt
+		// Settle phase A: resolve parents while frontier still holds only
+		// level d-1 bits. Scanning v's sorted adjacency ascending and taking
+		// the first neighbor carrying each still-needed bit yields the min-ID
+		// predecessor per source. (Clearing the old frontier first would be
+		// wrong the other way around too: a neighbor settled earlier in this
+		// same level would already carry its level-d bits.)
+		for _, v := range nxt {
+			newBits := next[v]
+			var parents [msbfsBatch]int32
+			needed := newBits
+			for _, u := range targets[offsets[v]:offsets[v+1]] {
+				avail := frontier[u] & needed
+				if avail == 0 {
+					continue
+				}
+				for b := avail; b != 0; b &= b - 1 {
+					parents[bits.TrailingZeros64(b)] = u
+				}
+				needed &^= avail
+				if needed == 0 {
+					break
+				}
+			}
+			for b := newBits; b != 0; b &= b - 1 {
+				i := bits.TrailingZeros64(b)
+				buf = append(buf, PrunedVisit{V: v, Src: sources[i], D: d, Parent: parents[i]})
+			}
+			emitted += bits.OnesCount64(newBits)
+		}
+		for _, u := range cur {
+			frontier[u] = 0
+		}
+		cur = cur[:0]
+		// Settle phase B: promote the new bits to the next frontier.
+		for _, v := range nxt {
+			newBits := next[v]
+			next[v] = 0
+			if seen[v] == 0 {
+				touched = append(touched, v)
+			}
+			seen[v] |= newBits
+			frontier[v] = newBits
+			cur = append(cur, v)
+		}
+	}
+	for _, v := range touched {
+		seen[v] = 0
+	}
+	s.cur = cur[:0]
+	s.touched = touched[:0]
+	w.s.sweeps += len(sources)
+	w.s.visited += emitted
+	return buf
+}
+
+// BoundedBatch floods up to 64 sources simultaneously, truncated at radius
+// hops, never expanding into nodes with blocked[v] set (sources are seeded
+// regardless): the batched form of the refine stage's skeleton-avoiding
+// floodFrom. visit is called once per settled (node, bits) pair in level
+// order; seeds are not reported. Requires a frozen graph.
+func (w *Walker) BoundedBatch(sources []int32, radius int32, blocked []bool, visit func(v int32, bits uint64)) {
+	w.boundedBatch(sources, radius, blocked, visit, nil, nil)
+}
+
+// BoundedReach floods up to 64 sources simultaneously, truncated at radius
+// hops, and records which sources reached each probe: bit i of reach[j] is
+// set iff probes[j] lies within radius hops of sources[i] (a probe that IS
+// source i counts, distance 0). reach must have len(probes) entries; they
+// are overwritten. Requires a frozen graph.
+func (w *Walker) BoundedReach(sources []int32, radius int32, probes []int32, reach []uint64) {
+	w.boundedBatch(sources, radius, nil, nil, probes, reach)
+}
+
+// boundedBatch is the shared truncated bit-parallel flood under an optional
+// blocked set, reporting settles through visit and probing seen-words for
+// probe nodes before the reset.
+func (w *Walker) boundedBatch(sources []int32, radius int32, blocked []bool, visit func(v int32, bits uint64), probes []int32, reach []uint64) {
+	for j := range reach {
+		reach[j] = 0
+	}
+	if len(sources) == 0 || radius <= 0 {
+		for j, p := range probes {
+			for i, src := range sources {
+				if p == src {
+					reach[j] |= uint64(1) << uint(i)
+				}
+			}
+		}
+		return
+	}
+	g := w.g
+	offsets, targets, ok := g.csr()
+	if !ok || len(sources) > msbfsBatch {
+		panic("graph: bounded batch kernel needs a frozen graph and at most 64 sources")
+	}
+	if w.ms == nil {
+		w.ms = newMSBFSScratch(g.N())
+	}
+	s := w.ms
+	seen, frontier, next := s.seen, s.frontier, s.next
+	cur := s.cur[:0]
+	touched := s.touched[:0]
+	for i, src := range sources {
+		bit := uint64(1) << uint(i)
+		if seen[src] == 0 {
+			touched = append(touched, src)
+		}
+		if frontier[src] == 0 {
+			cur = append(cur, src)
+		}
+		seen[src] |= bit
+		frontier[src] |= bit
+	}
+	visited := 0
+	for d := int32(1); d <= radius && len(cur) > 0; d++ {
+		nxt := s.nxt[:0]
+		for _, u := range cur {
+			f := frontier[u]
+			for _, v := range targets[offsets[u]:offsets[u+1]] {
+				if blocked != nil && blocked[v] {
+					continue
+				}
+				add := f &^ seen[v]
+				if add == 0 {
+					continue
+				}
+				old := next[v]
+				if nv := old | add; nv != old {
+					if old == 0 {
+						nxt = append(nxt, v)
+					}
+					next[v] = nv
+				}
+			}
+		}
+		s.nxt = nxt
+		for _, u := range cur {
+			frontier[u] = 0
+		}
+		cur = cur[:0]
+		for _, v := range nxt {
+			newBits := next[v]
+			next[v] = 0
+			if seen[v] == 0 {
+				touched = append(touched, v)
+			}
+			seen[v] |= newBits
+			frontier[v] = newBits
+			cur = append(cur, v)
+			visited += bits.OnesCount64(newBits)
+			if visit != nil {
+				visit(v, newBits)
+			}
+		}
+	}
+	for j, p := range probes {
+		reach[j] = seen[p]
+	}
+	for _, u := range cur {
+		frontier[u] = 0
+	}
+	for _, v := range touched {
+		seen[v] = 0
+	}
+	s.cur = cur[:0]
+	s.touched = touched[:0]
+	w.s.sweeps += len(sources)
+	w.s.visited += visited
+}

@@ -59,6 +59,46 @@ func (s Score) String() string {
 		s.ClearanceRatio, s.MedialCoverage, s.MeanDistToRef)
 }
 
+// LadderRung is one row of the scale ladder: a single network size probed
+// once, recording build and extraction wall time, the per-stage breakdown,
+// and the process peak RSS after the run. The ladder complements the
+// scorecard's quality matrix with a pure capacity axis (10^4 → 10^6 nodes).
+type LadderRung struct {
+	// Shape and N describe the requested field; Nodes and AvgDeg the
+	// realised largest component actually extracted.
+	Shape  string  `json:"shape"`
+	N      int     `json:"n"`
+	Nodes  int     `json:"nodes"`
+	AvgDeg float64 `json:"avgDeg"`
+
+	// BuildMs is the network-generation wall time (deployment + radio graph
+	// + largest component), ExtractMs one full extraction.
+	BuildMs   float64 `json:"buildMs"`
+	ExtractMs float64 `json:"extractMs"`
+	// StageMs breaks ExtractMs down by pipeline stage.
+	StageMs map[string]float64 `json:"stageMs,omitempty"`
+	// PeakRSSMB is the process peak resident set (VmHWM) after this rung —
+	// monotone over a run, so the last rung bounds the whole ladder.
+	PeakRSSMB float64 `json:"peakRssMb"`
+
+	// Outcome facts: resolved flood kernel, elected sites, skeleton size.
+	Kernel    string `json:"kernel"`
+	Sites     int    `json:"sites"`
+	SkelNodes int    `json:"skeletonNodes"`
+
+	// Err records a failed rung (the other fields are zero then).
+	Err string `json:"err,omitempty"`
+}
+
+// String renders one ladder row for the text harness.
+func (r LadderRung) String() string {
+	if r.Err != "" {
+		return fmt.Sprintf("%-9s n=%-8d ERROR %s", r.Shape, r.N, r.Err)
+	}
+	return fmt.Sprintf("%-9s n=%-8d deg=%-5.2f build=%9.1fms extract=%9.1fms rss=%7.1fMB kernel=%-7s sites=%-5d skel=%d",
+		r.Shape, r.Nodes, r.AvgDeg, r.BuildMs, r.ExtractMs, r.PeakRSSMB, r.Kernel, r.Sites, r.SkelNodes)
+}
+
 // Scorecard is the machine-readable cross-backend comparison: every
 // requested backend run over every scenario through one quality harness.
 type Scorecard struct {
@@ -72,6 +112,9 @@ type Scorecard struct {
 	Scenarios []string `json:"scenarios"`
 	// Scores holds one entry per (scenario, backend), scenario-major.
 	Scores []Score `json:"scores"`
+	// Ladder optionally holds scale-ladder rows measured alongside the
+	// quality matrix (skelbench -ladder).
+	Ladder []LadderRung `json:"ladder,omitempty"`
 }
 
 // String renders the scorecard as an aligned text table.
