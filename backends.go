@@ -107,14 +107,29 @@ func RunScorecard(scenarios []ScorecardScenario, backendNames []string, sc ObsSc
 
 		for _, name := range backendNames {
 			score := BackendScore{Backend: name, Scenario: scen.Name, N: net.N(), AvgDeg: net.AvgDegree()}
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			allocs, bytes := ms.Mallocs, ms.TotalAlloc
-			start := time.Now()
-			res, stats, err := ExtractBackend(net, name, p)
-			score.MsPerOp = float64(time.Since(start)) / float64(time.Millisecond)
-			runtime.ReadMemStats(&ms)
-			score.AllocsPerOp, score.BytesPerOp = ms.Mallocs-allocs, ms.TotalAlloc-bytes
+			// Best of three measured runs: a single-shot wall reading on a
+			// busy box swings 2x, which makes scorecard deltas flaky.
+			var res *BackendResult
+			var stats *Stats
+			var err error
+			for rep := 0; rep < 3; rep++ {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				allocs, bytes := ms.Mallocs, ms.TotalAlloc
+				start := time.Now() //lint:allow determinism Score.MsPerOp is wall-clock timing, not part of the result
+				r, st, e := ExtractBackend(net, name, p)
+				wall := float64(time.Since(start)) / float64(time.Millisecond)
+				runtime.ReadMemStats(&ms)
+				if e != nil {
+					err = e
+					break
+				}
+				if rep == 0 || wall < score.MsPerOp {
+					score.MsPerOp = wall
+					score.AllocsPerOp, score.BytesPerOp = ms.Mallocs-allocs, ms.TotalAlloc-bytes
+					res, stats = r, st
+				}
+			}
 			if err != nil {
 				score.Err = err.Error()
 				card.Scores = append(card.Scores, score)

@@ -86,6 +86,14 @@ func run() error {
 		ladderDeg = flag.Float64("ladder-deg", 7, "target average degree for -ladder rungs")
 		ladderOut = flag.String("ladder-out", "", "write the -ladder rungs as standalone JSON to this path (without -scorecard)")
 		ladderMax = flag.Float64("ladder-ceiling", 0, "fail when any -ladder rung's extraction exceeds this many seconds (0 = no ceiling)")
+		churnF    = flag.String("churn", "", "comma-separated churn rates (fraction of nodes failing per update batch, e.g. 0.0001,0.001,0.01): stream steady-state failure/recovery batches through the incremental extractor and report updates/sec vs from-scratch; with -scorecard the rows embed in the scorecard JSON")
+		churnN    = flag.Int("churn-n", 100000, "node count of the -churn field")
+		churnSh   = flag.String("churn-shape", "window", "deployment field for -churn")
+		churnDeg  = flag.Float64("churn-deg", 7, "target average degree for -churn")
+		churnB    = flag.Int("churn-batches", 20, "timed update batches per -churn rate")
+		churnOut  = flag.String("churn-out", "", "write the -churn rows as standalone JSON to this path (without -scorecard)")
+		churnMax  = flag.Float64("churn-ceiling", 0, "fail when the whole -churn run exceeds this many seconds of wall clock (0 = no ceiling)")
+		churnMin  = flag.Float64("churn-floor", 0, "fail when any -churn rate's incremental speedup vs from-scratch falls below this factor (0 = no floor)")
 	)
 	flag.Parse()
 
@@ -156,17 +164,34 @@ func run() error {
 		return runLadder(*ladderF, *ladderSh, *ladderDeg, *seed, *ladderMax, *ladderOut, *scorePath == "")
 	}
 
-	if *scorePath != "" {
-		return runScorecard(*scorePath, *backends, *shapesF, *nOverride, *seed, ladderFn, ob, *metricsOn, compare)
+	churnFn := func() ([]bfskel.ChurnRow, error) {
+		if *churnF == "" {
+			return nil, nil
+		}
+		return runChurn(*churnF, *churnSh, *churnN, *churnDeg, *churnB, *seed,
+			*churnMax, *churnMin, *churnOut, *scorePath == "")
 	}
+
+	if *scorePath != "" {
+		return runScorecard(*scorePath, *backends, *shapesF, *nOverride, *seed, ladderFn, churnFn, ob, *metricsOn, compare)
+	}
+	standalone := false
 	if *ladderF != "" {
 		if _, err := ladderFn(); err != nil {
 			return err
 		}
-		if *fig == "" {
-			// Ladder-only invocation: don't drag the full figure sweep along.
-			return nil
+		standalone = true
+	}
+	if *churnF != "" {
+		if _, err := churnFn(); err != nil {
+			return err
 		}
+		standalone = true
+	}
+	if standalone && *fig == "" {
+		// Ladder/churn-only invocation: don't drag the full figure sweep
+		// along.
+		return nil
 	}
 
 	figures := bfskel.FigureNames()
@@ -271,10 +296,66 @@ func runLadder(sizeList, shape string, deg float64, seed int64, ceiling float64,
 	return rungs, nil
 }
 
+// runChurn drives the churn-throughput bench (-churn): a steady stream of
+// failure/recovery batches per rate through the incremental extractor, with
+// updates/sec, fallback and dirty-fraction reporting. A non-zero ceiling or
+// floor turns the bench into a CI gate: the ceiling bounds the whole run's
+// wall clock, the floor asserts a minimum incremental-vs-full speedup.
+func runChurn(rateList, shape string, n int, deg float64, batches int, seed int64, ceiling, floor float64, outPath string, standalone bool) ([]bfskel.ChurnRow, error) {
+	var rates []float64
+	for _, f := range strings.Split(rateList, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r <= 0 || r > 1 {
+			return nil, fmt.Errorf("-churn: bad rate %q", f)
+		}
+		rates = append(rates, r)
+	}
+	start := time.Now() //lint:allow determinism churn wall-time report; results are keyed by Seed
+	rows, err := bfskel.RunChurnBench(bfskel.ChurnBenchConfig{
+		Shape: shape, N: n, TargetDeg: deg, Seed: seed,
+		Rates: rates, Batches: batches,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("== churn ==")
+	for _, r := range rows {
+		fmt.Println(" ", r)
+	}
+	if standalone && outPath != "" {
+		card := bfskel.Scorecard{
+			Date:  time.Now().UTC().Format(time.RFC3339), //lint:allow determinism report date stamp; results are keyed by Seed
+			Seed:  seed,
+			Churn: rows,
+		}
+		data, err := json.MarshalIndent(&card, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Println("wrote", outPath)
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			return nil, fmt.Errorf("-churn: rate %g failed: %s", r.Rate, r.Err)
+		}
+		if floor > 0 && r.Speedup < floor {
+			return nil, fmt.Errorf("-churn-floor: rate %g sustained %.1fx vs from-scratch, below the %.0fx floor", r.Rate, r.Speedup, floor)
+		}
+	}
+	if ceiling > 0 && elapsed > time.Duration(ceiling*float64(time.Second)) {
+		return nil, fmt.Errorf("-churn-ceiling: run took %.1fs, over the %.0fs ceiling", elapsed.Seconds(), ceiling)
+	}
+	return rows, nil
+}
+
 // runScorecard drives the cross-backend comparison: every named backend
 // over every named shape through the facade's quality harness, printed as
 // an aligned table and written as machine-readable JSON.
-func runScorecard(path, backendList, shapeList string, nOverride int, seed int64, ladderFn func() ([]bfskel.LadderRung, error), ob bfskel.ObsScope, metricsOn bool, compare func([]bfskel.BenchCell) error) error {
+func runScorecard(path, backendList, shapeList string, nOverride int, seed int64, ladderFn func() ([]bfskel.LadderRung, error), churnFn func() ([]bfskel.ChurnRow, error), ob bfskel.ObsScope, metricsOn bool, compare func([]bfskel.BenchCell) error) error {
 	defaults := map[string]struct {
 		n   int
 		deg float64
@@ -323,6 +404,12 @@ func runScorecard(path, backendList, shapeList string, nOverride int, seed int64
 		return err
 	}
 	card.Date = time.Now().UTC().Format(time.RFC3339) //lint:allow determinism report date stamp; results are keyed by Seed
+	// Churn before the ladder: the ladder's million-node rung leaves the heap
+	// inflated, which skews the churn means if it runs first.
+	card.Churn, err = churnFn()
+	if err != nil {
+		return err
+	}
 	card.Ladder, err = ladderFn()
 	if err != nil {
 		return err

@@ -151,9 +151,11 @@ func (d *BenchDelta) String() string {
 }
 
 // BenchCellsFromScorecard flattens a scorecard into comparable cells keyed
-// "backend/scenario". Failed cells (Err set) are skipped.
+// "backend/scenario" — plus "churn/shape@rate" cells (mean update wall
+// time) when the card embeds churn rows. Failed cells (Err set) are
+// skipped.
 func BenchCellsFromScorecard(card *Scorecard) []BenchCell {
-	cells := make([]BenchCell, 0, len(card.Scores))
+	cells := make([]BenchCell, 0, len(card.Scores)+len(card.Churn))
 	for _, s := range card.Scores {
 		if s.Err != "" {
 			continue
@@ -163,6 +165,15 @@ func BenchCellsFromScorecard(card *Scorecard) []BenchCell {
 			Ms:     s.MsPerOp,
 			Allocs: s.AllocsPerOp,
 			Bytes:  s.BytesPerOp,
+		})
+	}
+	for _, r := range card.Churn {
+		if r.Err != "" {
+			continue
+		}
+		cells = append(cells, BenchCell{
+			Key: fmt.Sprintf("churn/%s@%g", r.Shape, r.Rate),
+			Ms:  r.MeanUpdateMs,
 		})
 	}
 	return cells

@@ -5,6 +5,10 @@ package bfskel
 // simulate such events — regions of dead sensors — so the pipeline's
 // adaptation can be exercised: a failed disk inside a solid region becomes
 // a hole, and re-extraction grows a new genuine loop around it.
+//
+// One-shot rebuilds go through FailNodesReport / FailNodes; streams of
+// failure batches against one network go through ChurnSession (churn.go),
+// which keeps node IDs stable and repairs the skeleton incrementally.
 
 // NodesWithin returns the IDs of nodes within the given distance of a
 // point.
@@ -19,19 +23,41 @@ func NodesWithin(net *Network, center Point, radius float64) []int32 {
 	return out
 }
 
-// FailNodes returns a new network with the given nodes removed — the
-// survivors keep their positions and surviving links, restricted to the
-// largest connected component (dead nodes cannot forward messages, so the
-// network the protocol sees is exactly this). Node IDs are re-assigned
-// densely; the mapping is the order of surviving original IDs.
-func FailNodes(net *Network, failed []int32) *Network {
+// FailureReport names exactly which nodes a failure event affected, all in
+// the original network's IDs. Failed∪Disconnected and Survivors partition
+// the original node set.
+type FailureReport struct {
+	// Failed lists the requested nodes that existed and were removed,
+	// ascending and de-duplicated.
+	Failed []int32
+	// Disconnected lists survivors that were additionally dropped because
+	// the failures cut them off from the largest remaining component
+	// (empty when Spec.KeepWholeGraph is set), ascending.
+	Disconnected []int32
+	// Survivors maps the returned network's dense IDs back to the
+	// original ones: Survivors[newID] = oldID, ascending.
+	Survivors []int32
+}
+
+// FailNodesReport returns a new network with the given nodes removed plus a
+// report of the affected-node set. Survivors keep their positions and
+// surviving links, restricted to the largest connected component (dead
+// nodes cannot forward messages, so the network the protocol sees is
+// exactly this) unless Spec.KeepWholeGraph is set. Node IDs are re-assigned
+// densely; FailureReport.Survivors carries the mapping.
+func FailNodesReport(net *Network, failed []int32) (*Network, *FailureReport) {
 	dead := make(map[int32]bool, len(failed))
 	for _, v := range failed {
-		dead[v] = true
+		if v >= 0 && int(v) < net.N() {
+			dead[v] = true
+		}
 	}
+	rep := &FailureReport{}
 	var keep []int32
 	for v := 0; v < net.N(); v++ {
-		if !dead[int32(v)] {
+		if dead[int32(v)] {
+			rep.Failed = append(rep.Failed, int32(v))
+		} else {
 			keep = append(keep, int32(v))
 		}
 	}
@@ -42,7 +68,35 @@ func FailNodes(net *Network, failed []int32) *Network {
 	}
 	survivor := &Network{Spec: net.Spec, Points: pts, Graph: sub, Radio: net.Radio}
 	if !net.Spec.KeepWholeGraph {
-		survivor = survivor.largestComponent()
+		comp := sub.LargestComponent()
+		if len(comp) < sub.N() {
+			inComp := make([]bool, sub.N())
+			for _, v := range comp {
+				inComp[v] = true
+			}
+			for v := 0; v < sub.N(); v++ {
+				if !inComp[v] {
+					rep.Disconnected = append(rep.Disconnected, orig[v])
+				}
+			}
+			sub2, orig2 := sub.Subgraph(comp)
+			pts2 := make([]Point, len(orig2))
+			final := make([]int32, len(orig2))
+			for i, v := range orig2 {
+				pts2[i] = pts[v]
+				final[i] = orig[v]
+			}
+			survivor = &Network{Spec: net.Spec, Points: pts2, Graph: sub2, Radio: net.Radio}
+			orig = final
+		}
 	}
+	rep.Survivors = orig
+	return survivor, rep
+}
+
+// FailNodes is FailNodesReport without the report, kept for callers that
+// only need the surviving network.
+func FailNodes(net *Network, failed []int32) *Network {
+	survivor, _ := FailNodesReport(net, failed)
 	return survivor
 }

@@ -96,17 +96,13 @@ func CompleteFromVoronoi(g *graph.Graph, p Params, khop []int, index []float64,
 // sizes: nodes close to a boundary see markedly fewer K-hop neighbors than
 // interior nodes (the observation of Fekete et al. the paper builds on).
 // A node is a boundary node when its K-hop size is below boundaryFraction
-// of the component median. The sort runs over the engine's scratch buffer.
+// of the component median.
 func (e *Extractor) boundaryByProduct(khop []int) []int32 {
 	const boundaryFraction = 0.85
 	if len(khop) == 0 {
 		return nil
 	}
-	e.ints = growInts(e.ints, len(khop))
-	sorted := e.ints
-	copy(sorted, khop)
-	sort.Ints(sorted)
-	median := float64(sorted[len(sorted)/2])
+	median := float64(medianKHop(khop, &e.ints))
 	cut := boundaryFraction * median
 	var out []int32
 	for v, s := range khop {
@@ -115,4 +111,44 @@ func (e *Extractor) boundaryByProduct(khop []int) []int32 {
 		}
 	}
 	return out
+}
+
+// medianKHop returns the order statistic khop-sorted[len/2] — the exact
+// value the historical sort-based median produced — via a counting pass
+// when the value range is compact (ball sizes are bounded by the network
+// size, so this is the common case) and a sort of the scratch buffer
+// otherwise. The incremental update path recomputes the boundary stage per
+// churn batch, so the O(n log n) sort would dominate its budget.
+func medianKHop(khop []int, scratch *[]int) int {
+	n := len(khop)
+	maxV := 0
+	for _, s := range khop {
+		if s > maxV {
+			maxV = s
+		}
+	}
+	if maxV <= 4*n {
+		counts := growInts(*scratch, maxV+1)
+		*scratch = counts
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, s := range khop {
+			counts[s]++
+		}
+		// sorted[n/2] is the (n/2+1)-th smallest value.
+		need := n/2 + 1
+		seen := 0
+		for v, c := range counts {
+			seen += c
+			if seen >= need {
+				return v
+			}
+		}
+	}
+	sorted := growInts(*scratch, n)
+	*scratch = sorted
+	copy(sorted, khop)
+	sort.Ints(sorted)
+	return sorted[n/2]
 }

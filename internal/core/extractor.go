@@ -71,6 +71,9 @@ type Extractor struct {
 	fld       floodScratch          // coarse/refine: stamped BFS + mark scratch
 	uf        stampedUF             // refine: dense stamped union-find over node IDs
 	pairBuf   []pairSeg             // coarse: (pair, segment node) tuples
+	cmask     []bool                // refine: classify skeleton-membership mask
+	cmaskOn   []int32               // refine: set bits of cmask, for O(set) clearing
+	inc       incScratch            // incremental updates: dirty queue, dial buckets, repair stamps
 }
 
 // NewExtractor creates a staged engine bound to g. The scratch pools are
@@ -371,6 +374,13 @@ func growInt32s(buf []int32, n int) []int32 {
 func growBools(buf []bool, n int) []bool {
 	if cap(buf) < n {
 		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
 	}
 	return buf[:n]
 }

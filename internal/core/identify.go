@@ -208,7 +208,14 @@ func (e *Extractor) electSites(index []float64, scope int) []int32 {
 	n := e.g.N()
 	e.bools = growBools(e.bools, n)
 	isSite := e.bools
+	// Tombstoned nodes are isolated, which would make them trivially
+	// maximal; they must never elect.
+	dead := e.g.DeadMask()
 	graph.ParallelNodes(e.g, e.getWalker, e.putWalker, func(w *graph.Walker, v int) {
+		if dead != nil && dead[v] {
+			isSite[v] = false
+			return
+		}
 		maximal := true
 		w.WalkUntil(v, scope, func(u, _ int32) bool {
 			if index[u] > index[v] || (index[u] == index[v] && u < int32(v)) {

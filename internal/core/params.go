@@ -45,6 +45,24 @@ type Params struct {
 	// graph.KernelWalker and graph.KernelBatched force one path. The
 	// kernels produce identical results — only the sweep cost differs.
 	FloodKernel graph.Kernel
+	// DirtyFallback is the dirty-node fraction above which an incremental
+	// update (IncrementalExtractor) abandons localized repair and falls
+	// back to a full extraction. 0 means the default (0.25). It never
+	// affects results — the incremental path is bit-identical to a full
+	// extract either way — only where the crossover sits.
+	DirtyFallback float64
+}
+
+// defaultDirtyFallback is the dirty-fraction threshold used when
+// Params.DirtyFallback is zero.
+const defaultDirtyFallback = 0.25
+
+// dirtyFallback resolves the effective fallback threshold.
+func (p Params) dirtyFallback() float64 {
+	if p.DirtyFallback > 0 {
+		return p.DirtyFallback
+	}
+	return defaultDirtyFallback
 }
 
 // DefaultParams returns the paper's default configuration (K = L = 4,
@@ -80,6 +98,9 @@ func (p Params) Validate() error {
 	}
 	if p.FloodKernel > graph.KernelBatched {
 		return fmt.Errorf("core: unknown FloodKernel %d", p.FloodKernel)
+	}
+	if p.DirtyFallback < 0 || p.DirtyFallback > 1 {
+		return fmt.Errorf("core: DirtyFallback must be in [0, 1], got %g", p.DirtyFallback)
 	}
 	return nil
 }

@@ -72,6 +72,9 @@ type refiner struct {
 	cellOf  []int32
 	edges   []wEdge
 	loops   []Loop
+	// fcache, when non-nil, caches the end-node cluster floods across
+	// incremental updates (see endFloodCache); nil on full extractions.
+	fcache *endFloodCache
 	// debugf, when non-nil, receives a trace of every classification.
 	debugf func(format string, args ...any)
 }
@@ -201,7 +204,23 @@ func (w *refiner) dropRedundantParallels() {
 // around holes never cluster on the hole side (their end nodes are
 // separated by the hole-boundary arcs), so genuine loops survive.
 func (w *refiner) classifyLoops() {
-	skel := w.build()
+	// The clustering floods only read skeleton membership, never adjacency,
+	// so a pooled mask over the active edges' paths stands in for the full
+	// skeleton build; the set bits are tracked for O(set) clearing below.
+	mask := growBools(w.e.cmask, w.g.N())
+	w.e.cmask = mask
+	maskOn := w.e.cmaskOn[:0]
+	for _, e := range w.edges {
+		if e.deleted {
+			continue
+		}
+		for _, v := range e.path {
+			if !mask[v] {
+				mask[v] = true
+				maskOn = append(maskOn, v)
+			}
+		}
+	}
 	radius := w.junctionRadius()
 	if w.debugf != nil {
 		w.debugf("junction radius=%d", radius)
@@ -252,8 +271,29 @@ func (w *refiner) classifyLoops() {
 	for i, er := range ends {
 		claim(i, er.node)
 	}
-	kern := w.e.floodKernel(w.p.FloodKernel, int(radius))
-	if kern == graph.KernelBatched {
+	if w.fcache != nil {
+		// Incremental path: replay cached flood sets where still valid and
+		// flood only the evicted ends. The cluster partition is a pure
+		// function of the per-end node sets, so replayed claims produce the
+		// same clusters as either kernel realisation.
+		c := w.fcache
+		c.begin(w.g, mask, radius)
+		misses := 0
+		for i, er := range ends {
+			fs, ok := c.entries[er.node]
+			if !ok {
+				fs = makeFloodSet(w.floodFrom(er.node, radius, mask))
+				c.entries[er.node] = fs
+				misses++
+			}
+			for _, v := range fs.nodes {
+				claim(i, v)
+			}
+		}
+		if w.debugf != nil {
+			w.debugf("end flood cache: %d ends, %d misses", len(ends), misses)
+		}
+	} else if kern := w.e.floodKernel(w.p.FloodKernel, int(radius)); kern == graph.KernelBatched {
 		// 64 ends per bit-parallel flood; the skeleton mask blocks
 		// expansion exactly like floodFrom's Contains check.
 		wk := w.e.getWalker()
@@ -267,7 +307,7 @@ func (w *refiner) classifyLoops() {
 			for _, er := range ends[lo:hi] {
 				srcs = append(srcs, er.node)
 			}
-			wk.BoundedBatch(srcs, radius, skel.isOn, func(v int32, bw uint64) {
+			wk.BoundedBatch(srcs, radius, mask, func(v int32, bw uint64) {
 				for b := bw; b != 0; b &= b - 1 {
 					claim(lo+bits.TrailingZeros64(b), v)
 				}
@@ -276,7 +316,7 @@ func (w *refiner) classifyLoops() {
 		w.e.putWalker(wk)
 	} else {
 		for i, er := range ends {
-			for _, v := range w.floodFrom(er.node, radius, skel) {
+			for _, v := range w.floodFrom(er.node, radius, mask) {
 				claim(i, v)
 			}
 		}
@@ -306,6 +346,26 @@ func (w *refiner) classifyLoops() {
 	}
 	sort.Slice(order, func(a, b int) bool { return maxMember[order[a]] < maxMember[order[b]] })
 
+	// Bucket members by root once (counting sort, ascending within each
+	// cluster) so the per-cluster pass below reads its own slice instead of
+	// rescanning every end node per cluster.
+	offset := make([]int, len(ends)+1)
+	for i := range ends {
+		if root[i] == i {
+			offset[i+1] = size[i]
+		}
+	}
+	for i := 0; i < len(ends); i++ {
+		offset[i+1] += offset[i]
+	}
+	members := make([]int32, len(ends))
+	fill := make([]int, len(ends))
+	for i := range ends {
+		r := root[i]
+		members[offset[r]+fill[r]] = int32(i)
+		fill[r]++
+	}
+
 	// An edge is "inter-junction" when both of its end nodes sit in
 	// (possibly different) clusters of size > 1 — it crosses open space
 	// between meeting points rather than reaching a boundary.
@@ -328,11 +388,8 @@ func (w *refiner) classifyLoops() {
 		clusterStamp++
 		edgeIdx = edgeIdx[:0]
 		clusterSites = clusterSites[:0]
-		for i := range ends {
-			if root[i] != r {
-				continue
-			}
-			ei := ends[i].edge
+		for _, mi := range members[offset[r] : offset[r]+size[r]] {
+			ei := ends[mi].edge
 			if edgeMark[ei] != clusterStamp && !w.edges[ei].deleted {
 				edgeMark[ei] = clusterStamp
 				edgeIdx = append(edgeIdx, ei)
@@ -378,9 +435,58 @@ func (w *refiner) classifyLoops() {
 		}
 	}
 
-	// Report the surviving independent cycles as genuine loops.
-	for _, ei := range w.nonTreeEdges() {
-		if cycle := w.minimalCycle(ei); cycle != nil {
+	for _, v := range maskOn {
+		mask[v] = false
+	}
+	w.e.cmaskOn = maskOn[:0]
+
+	// Report the surviving independent cycles as genuine loops. The report
+	// is a pure function of the ordered non-deleted site-pair list (the
+	// spanning forest, adjacency traversal order and cycle tie-breaks all
+	// follow that subsequence), so on the incremental path an unchanged list
+	// replays the previous update's loops verbatim.
+	if w.fcache != nil {
+		c := w.fcache
+		cur := c.genScratch[:0]
+		for _, e := range w.edges {
+			if !e.deleted {
+				cur = append(cur, SitePair{A: e.a, B: e.b})
+			}
+		}
+		c.genScratch = cur
+		if c.genValid && len(cur) == len(c.genPairs) {
+			same := true
+			for i := range cur {
+				if cur[i] != c.genPairs[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				w.loops = append(w.loops, c.genLoops...)
+				return
+			}
+		}
+		start := len(w.loops)
+		w.reportGenuineLoops()
+		c.genPairs, c.genScratch = cur, c.genPairs[:0]
+		c.genLoops = append(c.genLoops[:0], w.loops[start:]...)
+		c.genValid = true
+		return
+	}
+	w.reportGenuineLoops()
+}
+
+// reportGenuineLoops appends the surviving independent cycles as genuine
+// loops.
+func (w *refiner) reportGenuineLoops() {
+	nontree := w.nonTreeEdges()
+	var siteAdj map[int32][]hop
+	if len(nontree) > 0 {
+		siteAdj = w.siteAdjacency()
+	}
+	for _, ei := range nontree {
+		if cycle := w.minimalCycle(siteAdj, ei); cycle != nil {
 			w.loops = append(w.loops, Loop{
 				Kind:  LoopGenuine,
 				Sites: w.cycleSites(cycle),
@@ -418,10 +524,10 @@ func (w *refiner) junctionRadius() int32 {
 }
 
 // floodFrom returns the nodes within the given hop radius of src, not
-// entering skeleton nodes (the source is admitted even if on the skeleton).
-// The returned slice aliases the engine's queue scratch and is only valid
-// until the next flood.
-func (w *refiner) floodFrom(src int32, radius int32, skel *Skeleton) []int32 {
+// entering skeleton nodes (the source is admitted even if on the skeleton);
+// skel is the membership mask. The returned slice aliases the engine's queue
+// scratch and is only valid until the next flood.
+func (w *refiner) floodFrom(src int32, radius int32, skel []bool) []int32 {
 	fld := &w.e.fld
 	fld.epoch++
 	epoch := fld.epoch
@@ -440,7 +546,7 @@ func (w *refiner) floodFrom(src int32, radius int32, skel *Skeleton) []int32 {
 			if stamp[v] == epoch {
 				continue
 			}
-			if skel.Contains(v) {
+			if skel[v] {
 				continue
 			}
 			stamp[v] = epoch
@@ -469,22 +575,34 @@ func (w *refiner) nonTreeEdges() []int {
 	return nontree
 }
 
-// minimalCycle returns a shortest site-level cycle through edge ei, as the
-// ordered edge-index list, or nil if removing ei disconnects its endpoints
-// (no cycle).
-func (w *refiner) minimalCycle(ei int) []int {
-	type hop struct {
-		vertex  int32
-		viaEdge int
-	}
-	adj := make(map[int32][]hop)
+// hop is one site-level adjacency entry: the neighboring site vertex and
+// the edge index that reaches it.
+type hop struct {
+	vertex  int32
+	viaEdge int
+}
+
+// siteAdjacency builds the site-level adjacency of all non-deleted edges
+// once; minimalCycle shares it across non-tree edges, masking the probed
+// edge by index instead of rebuilding the map per cycle.
+func (w *refiner) siteAdjacency() map[int32][]hop {
+	adj := make(map[int32][]hop, 2*len(w.edges))
 	for i, e := range w.edges {
-		if e.deleted || i == ei {
+		if e.deleted {
 			continue
 		}
 		adj[e.a] = append(adj[e.a], hop{vertex: e.b, viaEdge: i})
 		adj[e.b] = append(adj[e.b], hop{vertex: e.a, viaEdge: i})
 	}
+	return adj
+}
+
+// minimalCycle returns a shortest site-level cycle through edge ei, as the
+// ordered edge-index list, or nil if removing ei disconnects its endpoints
+// (no cycle). adj is the full siteAdjacency; ei is masked during the walk,
+// which traverses the same hops in the same order as an adjacency built
+// without it.
+func (w *refiner) minimalCycle(adj map[int32][]hop, ei int) []int {
 	src, dst := w.edges[ei].a, w.edges[ei].b
 	parent := map[int32]hop{src: {vertex: src, viaEdge: -1}}
 	queue := []int32{src}
@@ -494,6 +612,9 @@ func (w *refiner) minimalCycle(ei int) []int {
 			break
 		}
 		for _, h := range adj[u] {
+			if h.viaEdge == ei {
+				continue
+			}
 			if _, seen := parent[h.vertex]; !seen {
 				parent[h.vertex] = hop{vertex: u, viaEdge: h.viaEdge}
 				queue = append(queue, h.vertex)
@@ -595,9 +716,13 @@ func pruneThreshold(p Params, edges []SiteEdge) int {
 // first junction (skeleton degree >= 3); isolated paths (no junction) are
 // never pruned away entirely.
 func pruneBranches(skel *Skeleton, minLen int) {
+	// One node snapshot serves every pass: pruning only removes nodes, and
+	// removed nodes drop to degree 0 and skip — the per-pass decisions are
+	// identical to re-listing, without re-sorting the survivors each round.
+	nodes := skel.Nodes()
 	for {
 		pruned := false
-		for _, v := range skel.Nodes() {
+		for _, v := range nodes {
 			if skel.Degree(v) != 1 {
 				continue
 			}

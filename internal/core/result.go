@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // SiteDist is one entry of a node's record of almost-equidistant sites.
 type SiteDist struct {
 	// Site is the critical skeleton node's ID.
@@ -84,17 +82,28 @@ type Loop struct {
 }
 
 // Skeleton is a node-level skeleton: a subset of network nodes plus the
-// connectivity among them induced by the site-edge paths.
+// connectivity among them induced by the site-edge paths. Adjacency is a
+// per-node offset into a shared chunk arena: skeleton degrees are tiny
+// (mostly 2, a junction handful more), so lists start as 4-slot chunks and
+// relocate within the arena on the rare spill. The layout keeps the
+// per-node footprint at one int32 and makes Clone two bulk copies.
 type Skeleton struct {
-	n     int
-	isOn  []bool
-	adj   map[int32][]int32
+	n    int
+	isOn []bool
+	// off[v] is the arena index of v's chunk, 0 when v has no neighbors
+	// (index 0 is a sentinel so the zero value means "none").
+	off []int32
+	// arena holds neighbor chunks laid out as [cap, len, entries...].
+	arena []int32
 	edges int
 }
 
+// skelChunk is the initial chunk capacity; skeleton degree rarely exceeds 4.
+const skelChunk = 4
+
 // NewSkeleton creates an empty skeleton over a network of n nodes.
 func NewSkeleton(n int) *Skeleton {
-	return &Skeleton{n: n, isOn: make([]bool, n), adj: make(map[int32][]int32)}
+	return &Skeleton{n: n, isOn: make([]bool, n), off: make([]int32, n), arena: make([]int32, 1, 64)}
 }
 
 // AddPath marks every node of the path as a skeleton node and links
@@ -113,13 +122,38 @@ func (s *Skeleton) addEdge(u, v int32) {
 	if u == v || s.hasEdge(u, v) {
 		return
 	}
-	s.adj[u] = append(s.adj[u], v)
-	s.adj[v] = append(s.adj[v], u)
+	s.addNbr(u, v)
+	s.addNbr(v, u)
 	s.edges++
 }
 
+// addNbr appends w to v's chunk, allocating or relocating it in the arena as
+// needed (a relocated chunk's old slots stay behind as dead arena words —
+// bounded, since few nodes ever outgrow the initial capacity).
+func (s *Skeleton) addNbr(v, w int32) {
+	o := s.off[v]
+	if o == 0 {
+		o = int32(len(s.arena))
+		s.arena = append(s.arena, skelChunk, 0, 0, 0, 0, 0)
+		s.off[v] = o
+	}
+	c, l := s.arena[o], s.arena[o+1]
+	if l == c {
+		no := int32(len(s.arena))
+		s.arena = append(s.arena, 2*c, l)
+		s.arena = append(s.arena, s.arena[o+2:o+2+l]...)
+		for i := l; i < 2*c; i++ {
+			s.arena = append(s.arena, 0)
+		}
+		o = no
+		s.off[v] = o
+	}
+	s.arena[o+2+s.arena[o+1]] = w
+	s.arena[o+1]++
+}
+
 func (s *Skeleton) hasEdge(u, v int32) bool {
-	for _, w := range s.adj[u] {
+	for _, w := range s.Neighbors(u) {
 		if w == v {
 			return true
 		}
@@ -133,19 +167,19 @@ func (s *Skeleton) RemoveNode(v int32) {
 		return
 	}
 	s.isOn[v] = false
-	for _, w := range s.adj[v] {
+	for _, w := range s.Neighbors(v) {
 		s.removeDirected(w, v)
 		s.edges--
 	}
-	delete(s.adj, v)
+	s.off[v] = 0
 }
 
 func (s *Skeleton) removeDirected(u, v int32) {
-	nbrs := s.adj[u]
+	nbrs := s.Neighbors(u)
 	for i, w := range nbrs {
 		if w == v {
 			nbrs[i] = nbrs[len(nbrs)-1]
-			s.adj[u] = nbrs[:len(nbrs)-1]
+			s.arena[s.off[u]+1]--
 			return
 		}
 	}
@@ -174,35 +208,34 @@ func (s *Skeleton) Mask() []bool {
 
 // Nodes returns the sorted skeleton node IDs.
 func (s *Skeleton) Nodes() []int32 {
-	var out []int32
-	for v := range s.adj {
-		out = append(out, v)
-	}
+	out := make([]int32, 0, 256)
 	for v := int32(0); int(v) < s.n; v++ {
 		if s.isOn[v] {
-			if _, ok := s.adj[v]; !ok {
-				out = append(out, v)
-			}
+			out = append(out, v)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	// Deduplicate (adj map may contain nodes also found by the mask scan).
-	dedup := out[:0]
-	var prev int32 = -1
-	for _, v := range out {
-		if v != prev {
-			dedup = append(dedup, v)
-			prev = v
-		}
-	}
-	return dedup
+	return out
 }
 
-// Neighbors returns the skeleton-adjacent nodes of v.
-func (s *Skeleton) Neighbors(v int32) []int32 { return s.adj[v] }
+// Neighbors returns the skeleton-adjacent nodes of v. The returned slice is
+// a live view into the arena: valid until the next addEdge, and mutated in
+// place by edge removals.
+func (s *Skeleton) Neighbors(v int32) []int32 {
+	o := s.off[v]
+	if o == 0 {
+		return nil
+	}
+	return s.arena[o+2 : o+2+s.arena[o+1]]
+}
 
 // Degree returns the skeleton degree of v.
-func (s *Skeleton) Degree(v int32) int { return len(s.adj[v]) }
+func (s *Skeleton) Degree(v int32) int {
+	o := s.off[v]
+	if o == 0 {
+		return 0
+	}
+	return int(s.arena[o+1])
+}
 
 // NumNodes returns the number of skeleton nodes.
 func (s *Skeleton) NumNodes() int {
@@ -239,7 +272,7 @@ func (s *Skeleton) CycleRank() int {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range s.adj[u] {
+			for _, w := range s.Neighbors(u) {
 				if !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)
@@ -266,7 +299,7 @@ func (s *Skeleton) Components() int {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range s.adj[u] {
+			for _, w := range s.Neighbors(u) {
 				if !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)
@@ -279,15 +312,13 @@ func (s *Skeleton) Components() int {
 
 // Clone returns a deep copy of the skeleton.
 func (s *Skeleton) Clone() *Skeleton {
-	c := NewSkeleton(s.n)
-	copy(c.isOn, s.isOn)
-	for v, nbrs := range s.adj {
-		cp := make([]int32, len(nbrs))
-		copy(cp, nbrs)
-		c.adj[v] = cp
+	return &Skeleton{
+		n:     s.n,
+		isOn:  append([]bool(nil), s.isOn...),
+		off:   append([]int32(nil), s.off...),
+		arena: append([]int32(nil), s.arena...),
+		edges: s.edges,
 	}
-	c.edges = s.edges
-	return c
 }
 
 // Result carries every artifact of one extraction run.

@@ -42,6 +42,10 @@ type Graph struct {
 	// maximally; nil means ID order. Per-source results are exact, so the
 	// ordering affects cost only, never output.
 	batchOrder []int32
+
+	// ov, when non-nil, is the churn overlay (overlay.go): tombstoned
+	// nodes plus shortened adjacency windows, applied without thawing.
+	ov *overlay
 }
 
 // New returns an empty graph with n nodes.
@@ -55,6 +59,9 @@ func New(n int) *Graph {
 // the two touched lists are copied out of the shared arena on append (their
 // views are capacity-capped, so append cannot clobber a neighbor's window).
 func (g *Graph) AddEdge(u, v int) {
+	if g.ov != nil {
+		panic("graph: AddEdge on an overlayed graph; mutate via RemoveNodes/ReviveNodes")
+	}
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
 	g.edges++

@@ -45,6 +45,11 @@ func (k Kernel) String() string {
 // one bit of a machine word per source.
 const msbfsBatch = 64
 
+// smallSourceFactor gates the arbitrary-source batch helpers: below
+// N/smallSourceFactor sources, per-source walker sweeps beat the MS-BFS
+// batches even on frozen graphs (both paths produce identical values).
+const smallSourceFactor = 16
+
 // Automatic cutover bounds: below either, the per-source walker wins — the
 // batch bookkeeping needs enough sources and enough frontier overlap (radius
 // >= 2) to amortize.
@@ -123,7 +128,7 @@ func (s *msbfsScratch) run(g *Graph, k int, sources []int32, rows [][]int, weigh
 	if k <= 0 || len(sources) == 0 {
 		return log, 0
 	}
-	offsets, targets, ok := g.csr()
+	offsets, targets, ends, ok := g.csrEff()
 	if !ok || len(sources) > msbfsBatch {
 		panic("graph: msbfs kernel needs a frozen graph and at most 64 sources")
 	}
@@ -154,7 +159,7 @@ func (s *msbfsScratch) run(g *Graph, k int, sources []int32, rows [][]int, weigh
 		nxt := s.nxt[:0]
 		for _, u := range cur {
 			f := frontier[u]
-			for _, v := range targets[offsets[u]:offsets[u+1]] {
+			for _, v := range targets[offsets[u]:ends[u]] {
 				add := f &^ seen[v]
 				if add == 0 {
 					continue
@@ -331,6 +336,85 @@ func (g *Graph) BatchBallSizes(k int, sources []int32) [][]int {
 		}
 	})
 	return out
+}
+
+// BatchBallSizesInto recomputes the cumulative ball-size rows of an
+// arbitrary source set in place: rows[i] (len k, overwritten) receives
+// |N_r(sources[i])| for r in 1..k. This is BatchBallSizes writing into
+// caller-owned rows — the incremental extractor patches exactly the dirty
+// rows of its persistent ball matrix with it. Sources run 64 per MS-BFS
+// pass on frozen graphs, per-source walker sweeps otherwise; the values are
+// identical either way.
+func (g *Graph) BatchBallSizesInto(k int, sources []int32, rows [][]int, acquire func() *Walker, release func(*Walker)) {
+	if len(sources) == 0 || k <= 0 {
+		return
+	}
+	if !g.frozen || len(sources)*smallSourceFactor < g.N() {
+		// Small source sets: per-source sweeps cost the sum of the ball
+		// volumes, which undercuts the per-batch frontier machinery of the
+		// MS-BFS path long before the set grows to a graph-sized fraction.
+		ParallelRange(g, len(sources), acquire, release, func(w *Walker, i int) {
+			ballSizesWalker(w, int(sources[i]), rows[i][:k])
+		})
+		return
+	}
+	batches := (len(sources) + msbfsBatch - 1) / msbfsBatch
+	ParallelRange(g, batches, acquire, release, func(w *Walker, b int) {
+		lo := b * msbfsBatch
+		hi := lo + msbfsBatch
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		if w.ms == nil {
+			w.ms = newMSBFSScratch(g.N())
+		}
+		batchRows := w.ms.rows[:0]
+		for i := lo; i < hi; i++ {
+			row := rows[i][:k]
+			for r := range row {
+				row[r] = 0
+			}
+			batchRows = append(batchRows, row)
+		}
+		w.ms.rows = batchRows
+		w.runBatch(k, sources[lo:hi], batchRows, nil, nil)
+		for _, row := range batchRows {
+			for r := 1; r < len(row); r++ {
+				row[r] += row[r-1]
+			}
+		}
+	})
+}
+
+// BatchWeightedSums computes, for each source, the sum of weight[u] over all
+// u in N_k(source) (excluding the source itself) into out[i]. This is
+// BallWeightedSumsInto over an arbitrary source set — the incremental
+// extractor re-derives the centrality sums of dirty nodes with it. Exact
+// per source under both kernels.
+func (g *Graph) BatchWeightedSums(k int, sources []int32, weight []int, out []int, acquire func() *Walker, release func(*Walker)) {
+	if len(sources) == 0 {
+		return
+	}
+	if !g.frozen || len(sources)*smallSourceFactor < g.N() {
+		ParallelRange(g, len(sources), acquire, release, func(w *Walker, i int) {
+			sum := 0
+			w.Walk(int(sources[i]), k, func(u, _ int32) { sum += weight[u] })
+			out[i] = sum
+		})
+		return
+	}
+	batches := (len(sources) + msbfsBatch - 1) / msbfsBatch
+	ParallelRange(g, batches, acquire, release, func(w *Walker, b int) {
+		lo := b * msbfsBatch
+		hi := lo + msbfsBatch
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		var wbuf [msbfsBatch]int
+		wb := wbuf[:hi-lo]
+		w.runBatch(k, sources[lo:hi], nil, weight, wb)
+		copy(out[lo:hi], wb)
+	})
 }
 
 // BallWeightedSumsInto computes, for every node v, the sum of weight[u] over

@@ -33,7 +33,7 @@ func (w *Walker) PrunedBatch(sources []int32, bound []int32, slack int32, buf []
 		return buf
 	}
 	g := w.g
-	offsets, targets, ok := g.csr()
+	offsets, targets, ends, ok := g.csrEff()
 	if !ok || len(sources) > msbfsBatch {
 		panic("graph: pruned batch kernel needs a frozen graph and at most 64 sources")
 	}
@@ -60,7 +60,7 @@ func (w *Walker) PrunedBatch(sources []int32, bound []int32, slack int32, buf []
 		nxt := s.nxt[:0]
 		for _, u := range cur {
 			f := frontier[u]
-			for _, v := range targets[offsets[u]:offsets[u+1]] {
+			for _, v := range targets[offsets[u]:ends[u]] {
 				if b := bound[v]; b < 0 || d > b+slack {
 					continue
 				}
@@ -88,7 +88,7 @@ func (w *Walker) PrunedBatch(sources []int32, bound []int32, slack int32, buf []
 			newBits := next[v]
 			var parents [msbfsBatch]int32
 			needed := newBits
-			for _, u := range targets[offsets[v]:offsets[v+1]] {
+			for _, u := range targets[offsets[v]:ends[v]] {
 				avail := frontier[u] & needed
 				if avail == 0 {
 					continue
@@ -169,7 +169,7 @@ func (w *Walker) boundedBatch(sources []int32, radius int32, blocked []bool, vis
 		return
 	}
 	g := w.g
-	offsets, targets, ok := g.csr()
+	offsets, targets, ends, ok := g.csrEff()
 	if !ok || len(sources) > msbfsBatch {
 		panic("graph: bounded batch kernel needs a frozen graph and at most 64 sources")
 	}
@@ -196,7 +196,7 @@ func (w *Walker) boundedBatch(sources []int32, radius int32, blocked []bool, vis
 		nxt := s.nxt[:0]
 		for _, u := range cur {
 			f := frontier[u]
-			for _, v := range targets[offsets[u]:offsets[u+1]] {
+			for _, v := range targets[offsets[u]:ends[u]] {
 				if blocked != nil && blocked[v] {
 					continue
 				}
